@@ -1,0 +1,99 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (§4), printing our simulated results next to the
+// published values (exact for Tables 6–8, digitized for the figures).
+//
+// Usage:
+//
+//	experiments [-run fig6|…|table8|all] [-reps N] [-seed S] [-csv] [-chart]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment id (fig6…fig11, table6…table8) or 'all'")
+	reps := flag.Int("reps", 10, "replications per point (the paper used 100)")
+	seed := flag.Uint64("seed", 1999, "base random seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	chart := flag.Bool("chart", false, "draw ASCII charts for figures")
+	verbose := flag.Bool("v", false, "print per-point progress")
+	flag.Parse()
+
+	opts := experiments.Options{Replications: *reps, Seed: *seed}
+	if *verbose {
+		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	ids := experiments.Names()
+	if *run != "all" {
+		ids = strings.Split(*run, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		if strings.HasPrefix(id, "fig") {
+			fig, err := experiments.RunFigure(id, opts)
+			if err != nil {
+				fatal(err)
+			}
+			printFigure(fig, *csv, *chart)
+			continue
+		}
+		tbl, err := experiments.RunTable(id, opts)
+		if err != nil {
+			fatal(err)
+		}
+		printTable(tbl, *csv)
+	}
+}
+
+func printFigure(f *experiments.Figure, csv, chart bool) {
+	t := report.NewTable(
+		fmt.Sprintf("%s — %s (paper curves digitized, approximate)", f.ID, f.Title),
+		f.XLabel, "paper bench", "paper sim", "ours", "±95%", "hit%")
+	for i, p := range f.Points {
+		t.Addf(p.X, f.Paper.Benchmark[i], f.Paper.Simulated[i], p.IOs.Mean, p.IOs.HalfWidth, p.HitPct)
+	}
+	emit(t, csv)
+	if chart {
+		fmt.Println(report.Chart(f.ID, f.Paper.X, map[string][]float64{
+			"paper": f.Paper.Benchmark,
+			"ours":  f.SimValues(),
+		}, 12))
+	}
+}
+
+func printTable(tbl *experiments.TableResult, csv bool) {
+	headers := []string{"metric", "paper bench", "paper sim", "ours", "±95%"}
+	if tbl.AltName != "" {
+		headers = append(headers, tbl.AltName, "±95%")
+	}
+	t := report.NewTable(fmt.Sprintf("%s — %s", tbl.ID, tbl.Title), headers...)
+	for _, r := range tbl.Rows {
+		cells := []interface{}{r.Name, r.PaperBench, r.PaperSim, r.Ours.Mean, r.Ours.HalfWidth}
+		if tbl.AltName != "" {
+			cells = append(cells, r.OursAlt.Mean, r.OursAlt.HalfWidth)
+		}
+		t.Addf(cells...)
+	}
+	emit(t, csv)
+}
+
+func emit(t *report.Table, csv bool) {
+	if csv {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Println(t.String())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

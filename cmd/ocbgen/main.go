@@ -1,0 +1,92 @@
+// Command ocbgen generates an OCB object base and reports its structure:
+// schema statistics, object-graph statistics, and the on-disk placement
+// under a chosen page size and placement policy. Useful for understanding
+// what the workload model feeds the simulator.
+//
+// Usage:
+//
+//	ocbgen [-nc 50] [-no 20000] [-seed 1] [-pgsize 4096] [-overhead 1.05]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ocb"
+	"repro/internal/report"
+	"repro/internal/storage"
+)
+
+func main() {
+	nc := flag.Int("nc", 50, "number of classes")
+	no := flag.Int("no", 20000, "number of instances")
+	seed := flag.Uint64("seed", 1, "random seed")
+	pgsize := flag.Int("pgsize", 4096, "page size (bytes)")
+	overhead := flag.Float64("overhead", 1.0, "storage overhead factor")
+	sequential := flag.Bool("sequential", false, "use plain sequential placement")
+	workload := flag.Bool("workload", false, "also draw the Table 5 workload and report footprints")
+	flag.Parse()
+
+	p := ocb.DefaultParams()
+	p.NC = *nc
+	p.NO = *no
+	db, err := ocb.Generate(p, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	st := db.ComputeStats()
+	fmt.Println("object base:", st)
+
+	cfg := storage.DefaultConfig()
+	cfg.PageSize = *pgsize
+	cfg.Overhead = *overhead
+	if *sequential {
+		cfg.Placement = storage.Sequential
+	}
+	store, err := storage.New(db, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("placement: %s, %d pages, %.1f MB on disk (overhead %.2f)\n",
+		cfg.Placement, store.NumPages(), float64(store.TotalBytes())/1e6, cfg.Overhead)
+
+	t := report.NewTable("classes (first 10)", "class", "instances", "size B", "refs")
+	for i, c := range db.Classes {
+		if i >= 10 {
+			break
+		}
+		t.Addf(c.ID, len(db.ByClass[c.ID]), c.InstanceSize, len(c.Refs))
+	}
+	fmt.Println(t.String())
+
+	if *workload {
+		w := ocb.GenerateWorkload(db, *seed+1)
+		counts := map[ocb.TxType]int{}
+		ops := map[ocb.TxType]int{}
+		pages := map[ocb.TxType]map[int64]bool{}
+		for _, tx := range w.Hot {
+			counts[tx.Type]++
+			ops[tx.Type] += len(tx.Ops)
+			if pages[tx.Type] == nil {
+				pages[tx.Type] = map[int64]bool{}
+			}
+			for _, op := range tx.Ops {
+				pages[tx.Type][int64(store.PageOf(op.Object))] = true
+			}
+		}
+		wt := report.NewTable("workload (hot run)", "type", "txns", "mean ops", "distinct pages")
+		for tt := ocb.SetAccess; tt <= ocb.StochasticTraversal; tt++ {
+			if counts[tt] == 0 {
+				continue
+			}
+			wt.Addf(tt.String(), counts[tt], float64(ops[tt])/float64(counts[tt]), len(pages[tt]))
+		}
+		fmt.Println(wt.String())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ocbgen:", err)
+	os.Exit(1)
+}

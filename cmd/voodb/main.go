@@ -1,0 +1,148 @@
+// Command voodb runs one VOODB simulation study from the command line. All
+// Table 3 system parameters and the main OCB workload parameters are
+// exposed as flags; the result is a replicated experiment with 95 %
+// confidence intervals.
+//
+// Examples:
+//
+//	voodb -system o2 -no 10000 -reps 20
+//	voodb -system texas -memory 8 -reps 10
+//	voodb -sysclass centralized -buffer 1024 -pgrep CLOCK -write-prob 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"repro/internal/report"
+	"repro/voodb"
+)
+
+func main() {
+	var (
+		system  = flag.String("system", "", "preset: o2 | texas | texas-dstc (overrides -sysclass)")
+		sysc    = flag.String("sysclass", "pageserver", "centralized | objectserver | pageserver | dbserver")
+		netThru = flag.Float64("netthru", 1, "network throughput MB/s (0 = infinite)")
+		pgSize  = flag.Int("pgsize", 4096, "disk page size (bytes)")
+		bufPg   = flag.Int("buffer", 500, "buffer size (pages)")
+		memory  = flag.Int("memory", 0, "with -system texas: main memory in MB (overrides -buffer)")
+		cache   = flag.Int("cache", 0, "with -system o2: server cache in MB (overrides -buffer)")
+		pgrep   = flag.String("pgrep", "LRU", "replacement policy: "+strings.Join(voodb.BufferPolicies(), "|"))
+		mpl     = flag.Int("mpl", 10, "multiprogramming level")
+		users   = flag.Int("users", 1, "number of users")
+
+		nc        = flag.Int("nc", 50, "OCB: number of classes")
+		no        = flag.Int("no", 20000, "OCB: number of instances")
+		hotn      = flag.Int("hotn", 1000, "OCB: measured transactions")
+		coldn     = flag.Int("coldn", 0, "OCB: unmeasured warm-up transactions")
+		writeProb = flag.Float64("write-prob", 0, "OCB: per-access update probability")
+
+		clustering = flag.String("clustering", "none", "clustering module: none | dstc | greedy")
+		mtbf       = flag.Float64("failure-mtbf", 0, "mean time between failures in ms (0 = none)")
+		repair     = flag.Float64("failure-repair", 200, "mean repair time in ms")
+
+		reps = flag.Int("reps", 10, "replications")
+		seed = flag.Uint64("seed", 1999, "random seed")
+	)
+	flag.Parse()
+
+	cfg := voodb.DefaultConfig()
+	switch strings.ToLower(*system) {
+	case "":
+		switch strings.ToLower(*sysc) {
+		case "centralized":
+			cfg.System = voodb.Centralized
+		case "objectserver":
+			cfg.System = voodb.ObjectServer
+		case "pageserver":
+			cfg.System = voodb.PageServer
+		case "dbserver":
+			cfg.System = voodb.DBServer
+		default:
+			fatal(fmt.Errorf("unknown -sysclass %q", *sysc))
+		}
+		if *netThru == 0 {
+			cfg.NetThroughputMBps = math.Inf(1)
+		} else {
+			cfg.NetThroughputMBps = *netThru
+		}
+		cfg.PageSize = *pgSize
+		cfg.BufferPages = *bufPg
+	case "o2":
+		cfg = voodb.O2()
+		if *cache > 0 {
+			cfg = voodb.O2WithCache(*cache)
+		}
+	case "texas":
+		cfg = voodb.Texas()
+		if *memory > 0 {
+			cfg = voodb.TexasWithMemory(*memory)
+		}
+	case "texas-dstc":
+		cfg = voodb.TexasDSTC()
+		if *memory > 0 {
+			cfg.BufferPages = voodb.TexasWithMemory(*memory).BufferPages
+		}
+	default:
+		fatal(fmt.Errorf("unknown -system %q", *system))
+	}
+	cfg.BufferPolicy = *pgrep
+	cfg.MPL = *mpl
+	cfg.Users = *users
+	switch strings.ToLower(*clustering) {
+	case "none":
+	case "dstc":
+		cfg.Clustering = voodb.DSTC
+		// Arm automatic triggering so the module actually reorganizes
+		// during the run (Figure 4's "automatic triggering").
+		cfg.DSTCParams.TriggerCandidates = 500
+	case "greedy":
+		cfg.Clustering = voodb.GreedyGraph
+	default:
+		fatal(fmt.Errorf("unknown -clustering %q", *clustering))
+	}
+	if *mtbf > 0 {
+		cfg.Failures = voodb.FailureParams{Enabled: true, MTBFMs: *mtbf, MeanRepairMs: *repair}
+	}
+
+	params := voodb.DefaultWorkload()
+	params.NC = *nc
+	params.NO = *no
+	params.HotN = *hotn
+	params.ColdN = *coldn
+	params.WriteProb = *writeProb
+
+	res, err := voodb.Experiment{
+		Config: cfg, Params: params, Seed: *seed, Replications: *reps,
+	}.Run()
+	if err != nil {
+		fatal(err)
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("VOODB — %s, %d classes, %d instances, %d transactions, %d replications",
+			cfg.System, *nc, *no, *hotn, *reps),
+		"metric", "mean", "±95%", "min", "max")
+	add := func(name string, s *voodb.Sample, ci voodb.Interval) {
+		t.Addf(name, ci.Mean, ci.HalfWidth, s.Min(), s.Max())
+	}
+	add("I/Os", &res.IOs, res.IOsCI())
+	add("reads", &res.Reads, ci(&res.Reads))
+	add("writes", &res.Writes, ci(&res.Writes))
+	add("hit ratio", &res.HitRatio, ci(&res.HitRatio))
+	add("response (ms)", &res.RespMs, ci(&res.RespMs))
+	add("throughput (tps)", &res.Throughput, ci(&res.Throughput))
+	fmt.Println(t.String())
+}
+
+func ci(s *voodb.Sample) voodb.Interval {
+	return voodb.ConfidenceInterval(s, 0.95)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "voodb:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,47 @@
+// Quickstart: simulate the O₂ page server under the paper's Table 5 OCB
+// workload and print the headline metric — the mean number of I/Os with a
+// 95 % confidence interval — exactly the kind of a-priori evaluation the
+// paper motivates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/voodb"
+)
+
+func main() {
+	// The modelled system: O₂ as the paper configured it (Table 4).
+	cfg := voodb.O2()
+
+	// The workload: OCB with the Table 5 transaction mix, on a small base
+	// so the quickstart finishes in seconds.
+	params := voodb.DefaultWorkload()
+	params.NC = 20
+	params.NO = 5000
+
+	res, err := voodb.Experiment{
+		Config:       cfg,
+		Params:       params,
+		Seed:         42,
+		Replications: 10,
+	}.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("O2 page server, %d classes, %d instances, %d transactions\n",
+		params.NC, params.NO, params.HotN)
+	fmt.Printf("  mean number of I/Os : %s\n", res.IOsCI())
+	fmt.Printf("  buffer hit ratio    : %.1f%%\n", res.HitRatio.Mean()*100)
+	fmt.Printf("  mean response time  : %.1f ms\n", res.RespMs.Mean())
+	fmt.Printf("  throughput          : %.1f transactions/s\n", res.Throughput.Mean())
+
+	// The paper's pilot-study rule (§4.2.2): how many replications would a
+	// ±2 % interval need?
+	ci := res.IOsCI()
+	desired := 0.02 * ci.Mean
+	fmt.Printf("  replications for ±2%%: %d (pilot n=%d, h=%.1f)\n",
+		voodb.RequiredReplications(ci.N, ci.HalfWidth, desired), ci.N, ci.HalfWidth)
+}

@@ -1,0 +1,118 @@
+package buffer
+
+import "fmt"
+
+// clock implements the CLOCK (second chance) policy: resident pages sit on
+// a circular list; a hand sweeps the circle, clearing reference bits and
+// evicting the first page found with a clear bit. GCLOCK generalizes the
+// bit to a counter initialized to weight and decremented per sweep.
+type clock struct {
+	weight int // 1 = CLOCK, >1 = GCLOCK
+	list   *pageList
+	nodes  map[PageID]*node
+	hand   *node
+}
+
+// NewClock returns the CLOCK policy.
+func NewClock() Policy { return newClock(1) }
+
+// NewGClock returns the GCLOCK policy with the given counter weight (≥ 1).
+func NewGClock(weight int) Policy {
+	if weight < 1 {
+		panic(fmt.Sprintf("buffer: GCLOCK weight %d", weight))
+	}
+	return newClock(weight)
+}
+
+func newClock(weight int) *clock {
+	p := &clock{weight: weight}
+	p.Reset()
+	return p
+}
+
+func (p *clock) Name() string {
+	if p.weight == 1 {
+		return "CLOCK"
+	}
+	return "GCLOCK"
+}
+
+func (p *clock) Reset() {
+	p.list = newPageList()
+	p.nodes = make(map[PageID]*node)
+	p.hand = nil
+}
+
+func (p *clock) Inserted(pg PageID) {
+	n := &node{page: pg, ref: p.weight}
+	p.nodes[pg] = n
+	// Insert just behind the hand so the new page is examined last in the
+	// current sweep, matching the classic formulation.
+	if p.hand == nil {
+		p.list.pushBack(n)
+		p.hand = n
+	} else {
+		n.next = p.hand
+		n.prev = p.hand.prev
+		n.prev.next = n
+		n.next.prev = n
+		p.list.len++
+	}
+}
+
+// InsertedCold inserts with a clear reference count: the hand evicts it on
+// first encounter unless it is touched first.
+func (p *clock) InsertedCold(pg PageID) {
+	p.Inserted(pg)
+	p.nodes[pg].ref = 0
+}
+
+func (p *clock) Touched(pg PageID) {
+	if n, ok := p.nodes[pg]; ok {
+		n.ref = p.weight
+	}
+}
+
+// advance moves the hand one step, skipping the list sentinel.
+func (p *clock) advance() {
+	p.hand = p.hand.next
+	if p.hand == &p.list.root {
+		p.hand = p.hand.next
+	}
+}
+
+func (p *clock) Victim() PageID {
+	if p.list.len == 0 {
+		panic("buffer: CLOCK victim of empty policy")
+	}
+	for {
+		n := p.hand
+		if n.ref > 0 {
+			n.ref--
+			p.advance()
+			continue
+		}
+		p.advance()
+		if p.list.len == 1 {
+			p.hand = nil
+		}
+		p.list.remove(n)
+		delete(p.nodes, n.page)
+		return n.page
+	}
+}
+
+func (p *clock) Removed(pg PageID) {
+	n, ok := p.nodes[pg]
+	if !ok {
+		return
+	}
+	if p.hand == n {
+		p.advance()
+		if p.hand == n {
+			p.hand = nil
+		}
+	}
+	p.list.remove(n)
+	delete(p.nodes, pg)
+}

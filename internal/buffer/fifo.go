@@ -1,0 +1,172 @@
+package buffer
+
+import "repro/internal/rng"
+
+// fifo evicts in insertion order; re-references do not rejuvenate a page.
+type fifo struct {
+	list  *pageList
+	nodes map[PageID]*node
+}
+
+// NewFIFO returns a FIFO policy.
+func NewFIFO() Policy {
+	p := &fifo{}
+	p.Reset()
+	return p
+}
+
+func (p *fifo) Name() string { return "FIFO" }
+
+func (p *fifo) Reset() {
+	p.list = newPageList()
+	p.nodes = make(map[PageID]*node)
+}
+
+func (p *fifo) Inserted(pg PageID) {
+	n := &node{page: pg}
+	p.nodes[pg] = n
+	p.list.pushFront(n)
+}
+
+// InsertedCold places the page at the eviction end of the queue.
+func (p *fifo) InsertedCold(pg PageID) {
+	n := &node{page: pg}
+	p.nodes[pg] = n
+	p.list.pushBack(n)
+}
+
+func (p *fifo) Touched(PageID) {} // FIFO ignores re-references
+
+func (p *fifo) Victim() PageID {
+	n := p.list.back()
+	if n == nil {
+		panic("buffer: FIFO victim of empty policy")
+	}
+	p.list.remove(n)
+	delete(p.nodes, n.page)
+	return n.page
+}
+
+func (p *fifo) Removed(pg PageID) {
+	if n, ok := p.nodes[pg]; ok {
+		p.list.remove(n)
+		delete(p.nodes, pg)
+	}
+}
+
+// lfu evicts the least frequently used page; ties break toward the least
+// recently inserted. Frequencies persist only while the page is resident
+// (this is in-buffer LFU, the variant OODB buffer managers used).
+type lfu struct {
+	counts map[PageID]uint64
+	seq    map[PageID]uint64
+	clock  uint64
+}
+
+// NewLFU returns an LFU policy.
+func NewLFU() Policy {
+	p := &lfu{}
+	p.Reset()
+	return p
+}
+
+func (p *lfu) Name() string { return "LFU" }
+
+func (p *lfu) Reset() {
+	p.counts = make(map[PageID]uint64)
+	p.seq = make(map[PageID]uint64)
+	p.clock = 0
+}
+
+func (p *lfu) Inserted(pg PageID) {
+	p.clock++
+	p.counts[pg] = 1
+	p.seq[pg] = p.clock
+}
+
+func (p *lfu) Touched(pg PageID) {
+	if _, ok := p.counts[pg]; ok {
+		p.counts[pg]++
+	}
+}
+
+func (p *lfu) Victim() PageID {
+	if len(p.counts) == 0 {
+		panic("buffer: LFU victim of empty policy")
+	}
+	var victim PageID
+	var bestCount, bestSeq uint64
+	first := true
+	for pg, c := range p.counts {
+		s := p.seq[pg]
+		if first || c < bestCount || (c == bestCount && s < bestSeq) {
+			victim, bestCount, bestSeq = pg, c, s
+			first = false
+		}
+	}
+	delete(p.counts, victim)
+	delete(p.seq, victim)
+	return victim
+}
+
+func (p *lfu) Removed(pg PageID) {
+	delete(p.counts, pg)
+	delete(p.seq, pg)
+}
+
+// random evicts a uniformly random resident page. Deterministic given its
+// source, as required for reproducible replications.
+type random struct {
+	src   *rng.Source
+	pages []PageID
+	pos   map[PageID]int
+}
+
+// NewRandom returns a RANDOM policy drawing from src.
+func NewRandom(src *rng.Source) Policy {
+	if src == nil {
+		panic("buffer: NewRandom with nil source")
+	}
+	p := &random{src: src}
+	p.Reset()
+	return p
+}
+
+func (p *random) Name() string { return "RANDOM" }
+
+func (p *random) Reset() {
+	p.pages = p.pages[:0]
+	p.pos = make(map[PageID]int)
+}
+
+func (p *random) Inserted(pg PageID) {
+	p.pos[pg] = len(p.pages)
+	p.pages = append(p.pages, pg)
+}
+
+func (p *random) Touched(PageID) {}
+
+func (p *random) Victim() PageID {
+	if len(p.pages) == 0 {
+		panic("buffer: RANDOM victim of empty policy")
+	}
+	i := p.src.Intn(len(p.pages))
+	pg := p.pages[i]
+	p.removeAt(i)
+	return pg
+}
+
+func (p *random) Removed(pg PageID) {
+	if i, ok := p.pos[pg]; ok {
+		p.removeAt(i)
+	}
+}
+
+func (p *random) removeAt(i int) {
+	pg := p.pages[i]
+	last := len(p.pages) - 1
+	p.pages[i] = p.pages[last]
+	p.pos[p.pages[i]] = i
+	p.pages = p.pages[:last]
+	delete(p.pos, pg)
+}

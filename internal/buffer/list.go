@@ -1,0 +1,74 @@
+package buffer
+
+// node is an intrusive doubly-linked list node used by the list-based
+// policies (LRU, MRU, FIFO, CLOCK, GCLOCK). Hand-rolled to avoid
+// container/list's interface boxing on the simulator's hottest path.
+type node struct {
+	page       PageID
+	prev, next *node
+	ref        int // CLOCK reference bit / GCLOCK counter
+}
+
+// pageList is a circular doubly-linked list with a sentinel root.
+// root.next is the front (most recently added for LRU semantics),
+// root.prev is the back.
+type pageList struct {
+	root node
+	len  int
+}
+
+func newPageList() *pageList {
+	l := &pageList{}
+	l.root.prev = &l.root
+	l.root.next = &l.root
+	return l
+}
+
+func (l *pageList) pushFront(n *node) {
+	n.prev = &l.root
+	n.next = l.root.next
+	n.prev.next = n
+	n.next.prev = n
+	l.len++
+}
+
+func (l *pageList) pushBack(n *node) {
+	n.next = &l.root
+	n.prev = l.root.prev
+	n.prev.next = n
+	n.next.prev = n
+	l.len++
+}
+
+func (l *pageList) remove(n *node) {
+	n.prev.next = n.next
+	n.next.prev = n.prev
+	n.prev, n.next = nil, nil
+	l.len--
+}
+
+func (l *pageList) moveToFront(n *node) {
+	if l.root.next == n {
+		return
+	}
+	n.prev.next = n.next
+	n.next.prev = n.prev
+	n.prev = &l.root
+	n.next = l.root.next
+	n.prev.next = n
+	n.next.prev = n
+}
+
+func (l *pageList) back() *node {
+	if l.len == 0 {
+		return nil
+	}
+	return l.root.prev
+}
+
+func (l *pageList) front() *node {
+	if l.len == 0 {
+		return nil
+	}
+	return l.root.next
+}

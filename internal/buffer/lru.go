@@ -1,0 +1,208 @@
+package buffer
+
+import "fmt"
+
+// lruK implements LRU-K (O'Neil et al.): the victim is the page whose K-th
+// most recent reference is oldest ("maximum backward K-distance"). Pages
+// with fewer than K references have infinite backward distance and are
+// evicted first, oldest first. K = 1 is classic LRU and uses an O(1)
+// linked-list fast path; K ≥ 2 keeps per-page reference history and scans
+// on eviction (evictions are rare relative to accesses).
+type lruK struct {
+	k     int
+	clock uint64
+
+	// K == 1 fast path.
+	list  *pageList
+	nodes map[PageID]*node
+
+	// K ≥ 2 path.
+	hist map[PageID][]uint64 // most recent first, at most k entries
+}
+
+// NewLRUK returns an LRU-K policy. K must be ≥ 1.
+func NewLRUK(k int) Policy {
+	if k < 1 {
+		panic(fmt.Sprintf("buffer: LRU-K with k=%d", k))
+	}
+	p := &lruK{k: k}
+	p.Reset()
+	return p
+}
+
+func (p *lruK) Name() string {
+	if p.k == 1 {
+		return "LRU"
+	}
+	return fmt.Sprintf("LRU-%d", p.k)
+}
+
+func (p *lruK) Reset() {
+	if p.k == 1 {
+		p.list = newPageList()
+		p.nodes = make(map[PageID]*node)
+		return
+	}
+	p.hist = make(map[PageID][]uint64)
+}
+
+func (p *lruK) Inserted(pg PageID) {
+	p.clock++
+	if p.k == 1 {
+		n := &node{page: pg}
+		p.nodes[pg] = n
+		p.list.pushFront(n)
+		return
+	}
+	p.hist[pg] = append(make([]uint64, 0, p.k), p.clock)
+}
+
+// InsertedCold places the page at the LRU end: it is the next victim
+// unless it gets touched first.
+func (p *lruK) InsertedCold(pg PageID) {
+	if p.k == 1 {
+		n := &node{page: pg}
+		p.nodes[pg] = n
+		p.list.pushBack(n)
+		return
+	}
+	// Timestamp 0 gives the page infinite backward K-distance and the
+	// oldest possible last reference.
+	p.hist[pg] = append(make([]uint64, 0, p.k), 0)
+}
+
+func (p *lruK) Touched(pg PageID) {
+	p.clock++
+	if p.k == 1 {
+		if n, ok := p.nodes[pg]; ok {
+			p.list.moveToFront(n)
+		}
+		return
+	}
+	h := p.hist[pg]
+	if h == nil {
+		return
+	}
+	// Prepend the new timestamp, keeping at most k.
+	if len(h) < p.k {
+		h = append(h, 0)
+	}
+	copy(h[1:], h)
+	h[0] = p.clock
+	p.hist[pg] = h
+}
+
+func (p *lruK) Victim() PageID {
+	if p.k == 1 {
+		n := p.list.back()
+		if n == nil {
+			panic("buffer: LRU victim of empty policy")
+		}
+		p.list.remove(n)
+		delete(p.nodes, n.page)
+		return n.page
+	}
+	if len(p.hist) == 0 {
+		panic("buffer: LRU-K victim of empty policy")
+	}
+	var victim PageID
+	victimDist := uint64(0)
+	victimOldest := uint64(1<<63 - 1)
+	first := true
+	for pg, h := range p.hist {
+		var kth uint64
+		infinite := len(h) < p.k
+		if !infinite {
+			kth = h[p.k-1]
+		}
+		oldest := h[len(h)-1]
+		better := false
+		switch {
+		case first:
+			better = true
+		case infinite && victimDist != 0:
+			// finite current victim loses to an infinite-distance page
+			better = true
+		case infinite && victimDist == 0:
+			// both infinite: older last reference loses (evict it)
+			better = oldest < victimOldest
+		case !infinite && victimDist == 0:
+			better = false
+		default:
+			better = kth < victimDist
+		}
+		if better {
+			victim = pg
+			if infinite {
+				victimDist = 0
+			} else {
+				victimDist = kth
+			}
+			victimOldest = oldest
+			first = false
+		}
+	}
+	delete(p.hist, victim)
+	return victim
+}
+
+func (p *lruK) Removed(pg PageID) {
+	if p.k == 1 {
+		if n, ok := p.nodes[pg]; ok {
+			p.list.remove(n)
+			delete(p.nodes, pg)
+		}
+		return
+	}
+	delete(p.hist, pg)
+}
+
+// mru evicts the most recently used page — a useful baseline for scan-heavy
+// workloads where LRU degenerates.
+type mru struct {
+	list  *pageList
+	nodes map[PageID]*node
+}
+
+// NewMRU returns an MRU policy.
+func NewMRU() Policy {
+	p := &mru{}
+	p.Reset()
+	return p
+}
+
+func (p *mru) Name() string { return "MRU" }
+
+func (p *mru) Reset() {
+	p.list = newPageList()
+	p.nodes = make(map[PageID]*node)
+}
+
+func (p *mru) Inserted(pg PageID) {
+	n := &node{page: pg}
+	p.nodes[pg] = n
+	p.list.pushFront(n)
+}
+
+func (p *mru) Touched(pg PageID) {
+	if n, ok := p.nodes[pg]; ok {
+		p.list.moveToFront(n)
+	}
+}
+
+func (p *mru) Victim() PageID {
+	n := p.list.front()
+	if n == nil {
+		panic("buffer: MRU victim of empty policy")
+	}
+	p.list.remove(n)
+	delete(p.nodes, n.page)
+	return n.page
+}
+
+func (p *mru) Removed(pg PageID) {
+	if n, ok := p.nodes[pg]; ok {
+		p.list.remove(n)
+		delete(p.nodes, pg)
+	}
+}

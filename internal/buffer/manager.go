@@ -1,0 +1,241 @@
+package buffer
+
+import "fmt"
+
+// frameState distinguishes loaded pages from reserved ones. Reserved frames
+// model Texas's virtual-memory behaviour: address space (and a physical
+// frame) is claimed for a page before its content is read from disk.
+type frameState uint8
+
+const (
+	loaded frameState = iota
+	reserved
+)
+
+type frame struct {
+	state frameState
+	dirty bool
+}
+
+// Eviction describes a page pushed out of the buffer. Dirty pages must be
+// written back by the caller (the Manager is a pure cache; I/O costing
+// belongs to the I/O subsystem).
+type Eviction struct {
+	Page  PageID
+	Dirty bool
+}
+
+// AccessResult reports what an Access did.
+type AccessResult struct {
+	// Hit is true when the page was resident with its content loaded.
+	Hit bool
+	// WasReserved is true when a frame existed but held no content yet:
+	// the caller must still read the page from disk, but no frame was
+	// allocated and nothing was evicted.
+	WasReserved bool
+	// Evicted holds the pages pushed out to make room (at most one for
+	// Access; Reserve can also evict at most one).
+	Evicted []Eviction
+}
+
+// Manager is a fixed-capacity page buffer with a pluggable replacement
+// policy and dirty-page tracking.
+type Manager struct {
+	capacity int
+	policy   Policy
+	frames   map[PageID]*frame
+
+	// reserveCold inserts reserved frames at the eviction end (when the
+	// policy supports it) instead of the hot end. Hot insertion models a
+	// VM that treats freshly reserved pages like any fault-in (Texas);
+	// cold insertion models an OS that reclaims never-touched pages first.
+	reserveCold bool
+
+	hits       uint64
+	misses     uint64
+	evictions  uint64
+	writebacks uint64
+}
+
+// SetReserveCold selects cold insertion for reserved frames.
+func (m *Manager) SetReserveCold(cold bool) { m.reserveCold = cold }
+
+// New returns a Manager holding at most capacity pages. It panics if
+// capacity < 1 or policy is nil.
+func New(capacity int, policy Policy) *Manager {
+	if capacity < 1 {
+		panic(fmt.Sprintf("buffer: capacity %d", capacity))
+	}
+	if policy == nil {
+		panic("buffer: nil policy")
+	}
+	return &Manager{
+		capacity: capacity,
+		policy:   policy,
+		frames:   make(map[PageID]*frame, capacity),
+	}
+}
+
+// Capacity returns the frame count.
+func (m *Manager) Capacity() int { return m.capacity }
+
+// Len returns the number of resident frames (loaded + reserved).
+func (m *Manager) Len() int { return len(m.frames) }
+
+// Policy returns the replacement policy in use.
+func (m *Manager) Policy() Policy { return m.policy }
+
+// Contains reports whether p is resident with loaded content.
+func (m *Manager) Contains(p PageID) bool {
+	f, ok := m.frames[p]
+	return ok && f.state == loaded
+}
+
+// IsReserved reports whether p has a reserved (content-less) frame.
+func (m *Manager) IsReserved(p PageID) bool {
+	f, ok := m.frames[p]
+	return ok && f.state == reserved
+}
+
+// Access requests page p, marking it dirty when write is true. On a miss a
+// frame is allocated (evicting a victim if the buffer is full) and the page
+// is considered loaded afterwards; the caller is responsible for charging
+// the disk read. Accessing a reserved frame loads it in place: a miss with
+// no eviction.
+func (m *Manager) Access(p PageID, write bool) AccessResult {
+	if f, ok := m.frames[p]; ok {
+		m.policy.Touched(p)
+		if write {
+			f.dirty = true
+		}
+		if f.state == loaded {
+			m.hits++
+			return AccessResult{Hit: true}
+		}
+		f.state = loaded
+		m.misses++
+		return AccessResult{WasReserved: true}
+	}
+	m.misses++
+	res := AccessResult{}
+	m.makeRoom(&res)
+	m.frames[p] = &frame{state: loaded, dirty: write}
+	m.policy.Inserted(p)
+	return res
+}
+
+// Reserve claims a frame for p without loading content. It is a no-op if p
+// is already resident (loaded or reserved). A reservation can evict a
+// victim, exactly like a miss — this is the Texas memory-pressure
+// mechanism. Insertion position follows SetReserveCold.
+func (m *Manager) Reserve(p PageID) AccessResult {
+	if _, ok := m.frames[p]; ok {
+		return AccessResult{Hit: true}
+	}
+	res := AccessResult{}
+	m.makeRoom(&res)
+	m.frames[p] = &frame{state: reserved}
+	if ci, ok := m.policy.(ColdInserter); ok && m.reserveCold {
+		ci.InsertedCold(p)
+	} else {
+		m.policy.Inserted(p)
+	}
+	return res
+}
+
+func (m *Manager) makeRoom(res *AccessResult) {
+	for len(m.frames) >= m.capacity {
+		v := m.policy.Victim()
+		f := m.frames[v]
+		delete(m.frames, v)
+		m.evictions++
+		dirty := f.state == loaded && f.dirty
+		if dirty {
+			m.writebacks++
+		}
+		res.Evicted = append(res.Evicted, Eviction{Page: v, Dirty: dirty})
+	}
+}
+
+// MarkDirty marks a resident loaded page dirty; it reports whether the page
+// was resident.
+func (m *Manager) MarkDirty(p PageID) bool {
+	f, ok := m.frames[p]
+	if !ok || f.state != loaded {
+		return false
+	}
+	f.dirty = true
+	return true
+}
+
+// Invalidate drops p from the buffer without an eviction decision,
+// returning whether it was resident and whether it was dirty (the caller
+// decides if the lost update matters — reorganization discards pages
+// deliberately).
+func (m *Manager) Invalidate(p PageID) (wasResident, wasDirty bool) {
+	f, ok := m.frames[p]
+	if !ok {
+		return false, false
+	}
+	delete(m.frames, p)
+	m.policy.Removed(p)
+	return true, f.state == loaded && f.dirty
+}
+
+// InvalidateAll empties the buffer, returning the dirty pages that were
+// dropped (in unspecified order; callers sort if they care).
+func (m *Manager) InvalidateAll() []PageID {
+	var dirtyPages []PageID
+	for p, f := range m.frames {
+		if f.state == loaded && f.dirty {
+			dirtyPages = append(dirtyPages, p)
+		}
+	}
+	m.frames = make(map[PageID]*frame, m.capacity)
+	m.policy.Reset()
+	return dirtyPages
+}
+
+// DirtyPages returns the resident dirty pages (unspecified order).
+func (m *Manager) DirtyPages() []PageID {
+	var out []PageID
+	for p, f := range m.frames {
+		if f.state == loaded && f.dirty {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Clean clears the dirty bit of p (after a write-back).
+func (m *Manager) Clean(p PageID) {
+	if f, ok := m.frames[p]; ok {
+		f.dirty = false
+	}
+}
+
+// Hits returns the hit count since the last ResetStats.
+func (m *Manager) Hits() uint64 { return m.hits }
+
+// Misses returns the miss count (reserved-frame loads included).
+func (m *Manager) Misses() uint64 { return m.misses }
+
+// Evictions returns the number of evicted frames.
+func (m *Manager) Evictions() uint64 { return m.evictions }
+
+// Writebacks returns the number of dirty evictions.
+func (m *Manager) Writebacks() uint64 { return m.writebacks }
+
+// HitRatio returns hits/(hits+misses), 0 when no accesses happened.
+func (m *Manager) HitRatio() float64 {
+	total := m.hits + m.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(m.hits) / float64(total)
+}
+
+// ResetStats zeroes the counters without touching buffer contents.
+func (m *Manager) ResetStats() {
+	m.hits, m.misses, m.evictions, m.writebacks = 0, 0, 0, 0
+}

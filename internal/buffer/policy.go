@@ -1,0 +1,99 @@
+// Package buffer implements the Buffering Manager substrate of VOODB: a
+// fixed-capacity page buffer with interchangeable replacement policies.
+//
+// Table 3 of the paper lists the PGREP parameter with the values RANDOM,
+// FIFO, LFU, LRU-K, CLOCK and GCLOCK; all are implemented here (plus MRU,
+// a common extra baseline). The paper's validation experiments use LRU-1.
+package buffer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/disk"
+	"repro/internal/rng"
+)
+
+// PageID aliases the physical page identifier; the buffer caches disk pages.
+type PageID = disk.PageID
+
+// Policy is a replacement policy. The Manager owns page membership; the
+// policy only ranks resident pages for eviction. Calls are balanced: every
+// page is Inserted once, possibly Touched many times, and leaves via
+// exactly one Victim or Removed call.
+type Policy interface {
+	// Name identifies the policy (e.g. "LRU", "GCLOCK").
+	Name() string
+	// Inserted tells the policy that p became resident.
+	Inserted(p PageID)
+	// Touched tells the policy that resident page p was accessed again.
+	Touched(p PageID)
+	// Victim selects a resident page to evict and forgets it.
+	// It panics if the policy tracks no pages (a Manager bug).
+	Victim() PageID
+	// Removed tells the policy that p left the buffer without an eviction
+	// decision (invalidation).
+	Removed(p PageID)
+	// Reset forgets all pages.
+	Reset()
+}
+
+// ColdInserter is implemented by policies that can insert a page at the
+// eviction end of their ordering — used for reserved (never-touched)
+// frames, which should be reclaimed before any referenced page.
+type ColdInserter interface {
+	InsertedCold(p PageID)
+}
+
+// NewPolicy builds a policy from its PGREP name. Recognized (case
+// insensitive): "RANDOM", "FIFO", "LFU", "LRU", "LRU-K" for any integer K
+// (e.g. "LRU-2"), "MRU", "CLOCK", "GCLOCK", "2Q". RANDOM requires a
+// non-nil random source; other policies ignore it.
+func NewPolicy(name string, src *rng.Source) (Policy, error) {
+	return NewPolicySized(name, src, 64)
+}
+
+// NewPolicySized is NewPolicy with an explicit buffer-capacity hint for
+// policies that size internal structures from it (2Q's probation queue).
+func NewPolicySized(name string, src *rng.Source, capacityHint int) (Policy, error) {
+	upper := strings.ToUpper(strings.TrimSpace(name))
+	switch {
+	case upper == "RANDOM":
+		if src == nil {
+			return nil, fmt.Errorf("buffer: RANDOM policy needs a random source")
+		}
+		return NewRandom(src), nil
+	case upper == "FIFO":
+		return NewFIFO(), nil
+	case upper == "LFU":
+		return NewLFU(), nil
+	case upper == "LRU" || upper == "LRU-1":
+		return NewLRUK(1), nil
+	case strings.HasPrefix(upper, "LRU-"):
+		k, err := strconv.Atoi(upper[len("LRU-"):])
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("buffer: bad LRU-K spec %q", name)
+		}
+		return NewLRUK(k), nil
+	case upper == "MRU":
+		return NewMRU(), nil
+	case upper == "CLOCK":
+		return NewClock(), nil
+	case upper == "GCLOCK":
+		return NewGClock(2), nil
+	case upper == "2Q":
+		hint := capacityHint
+		if hint < 4 {
+			hint = 4
+		}
+		return NewTwoQ(hint), nil
+	default:
+		return nil, fmt.Errorf("buffer: unknown replacement policy %q", name)
+	}
+}
+
+// PolicyNames lists the recognized PGREP values in a stable order.
+func PolicyNames() []string {
+	return []string{"RANDOM", "FIFO", "LFU", "LRU", "LRU-2", "MRU", "CLOCK", "GCLOCK", "2Q"}
+}

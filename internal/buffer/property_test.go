@@ -1,0 +1,138 @@
+package buffer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// allPolicies builds one instance of every policy for property testing.
+func allPolicies() []Policy {
+	return []Policy{
+		NewLRUK(1), NewLRUK(2), NewLRUK(3),
+		NewFIFO(), NewLFU(), NewMRU(),
+		NewClock(), NewGClock(2),
+		NewRandom(rng.New(123)),
+	}
+}
+
+// Property: under any access pattern and any policy, the buffer never
+// exceeds capacity, hit+miss equals accesses, and a page just accessed is
+// always resident afterwards.
+func TestPropertyBufferInvariants(t *testing.T) {
+	for _, p := range allPolicies() {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			m := New(5, p)
+			accesses := 0
+			f := func(raw []uint8) bool {
+				for _, r := range raw {
+					pg := PageID(r % 23)
+					res := m.Access(pg, r%3 == 0)
+					accesses++
+					if m.Len() > m.Capacity() {
+						return false
+					}
+					if !m.Contains(pg) {
+						return false
+					}
+					if res.Hit && len(res.Evicted) > 0 {
+						return false
+					}
+				}
+				return m.Hits()+m.Misses() == uint64(accesses)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Property: total evictions equal total insertions minus resident pages,
+// i.e. no frame is ever leaked or double-freed.
+func TestPropertyFrameConservation(t *testing.T) {
+	for _, p := range allPolicies() {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			m := New(7, p)
+			distinctMisses := uint64(0)
+			seenResident := map[PageID]bool{}
+			f := func(raw []uint8) bool {
+				for _, r := range raw {
+					pg := PageID(r % 31)
+					res := m.Access(pg, false)
+					if !res.Hit {
+						distinctMisses++
+					}
+					for _, e := range res.Evicted {
+						delete(seenResident, e.Page)
+					}
+					seenResident[pg] = true
+					if len(seenResident) != m.Len() {
+						return false
+					}
+				}
+				return distinctMisses == m.Evictions()+uint64(m.Len())
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Property: an access pattern that fits entirely in the buffer never
+// evicts, whatever the policy.
+func TestPropertyNoEvictionWhenFits(t *testing.T) {
+	for _, p := range allPolicies() {
+		m := New(16, p)
+		for i := 0; i < 1000; i++ {
+			res := m.Access(PageID(i%16), i%2 == 0)
+			if len(res.Evicted) != 0 {
+				t.Fatalf("%s: eviction although working set fits", p.Name())
+			}
+		}
+		if m.Evictions() != 0 {
+			t.Fatalf("%s: eviction counter nonzero", p.Name())
+		}
+	}
+}
+
+// Sanity: on a looping scan larger than the buffer, MRU must beat LRU (the
+// classic sequential-flooding result) — a cross-policy behavioural check.
+func TestScanResistanceMRUBeatsLRU(t *testing.T) {
+	run := func(p Policy) float64 {
+		m := New(10, p)
+		for round := 0; round < 50; round++ {
+			for pg := PageID(0); pg < 12; pg++ {
+				m.Access(pg, false)
+			}
+		}
+		return m.HitRatio()
+	}
+	lru := run(NewLRUK(1))
+	mruRatio := run(NewMRU())
+	if mruRatio <= lru {
+		t.Errorf("MRU hit ratio %v should exceed LRU %v on looping scan", mruRatio, lru)
+	}
+	if lru != 0 {
+		t.Errorf("LRU on a 12-page loop with 10 frames should never hit, got %v", lru)
+	}
+}
+
+func BenchmarkLRUAccess(b *testing.B) {
+	m := New(1000, NewLRUK(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Access(PageID(i%2500), false)
+	}
+}
+
+func BenchmarkClockAccess(b *testing.B) {
+	m := New(1000, NewClock())
+	for i := 0; i < b.N; i++ {
+		m.Access(PageID(i%2500), false)
+	}
+}

@@ -1,0 +1,137 @@
+package buffer
+
+// twoQ implements the 2Q policy (Johnson & Shasha, VLDB '94 — contemporary
+// with the systems the paper models): newly admitted pages enter a FIFO
+// probation queue (A1in); pages evicted from probation are remembered in a
+// ghost queue (A1out, identifiers only); a page re-admitted while its ghost
+// is remembered — or re-referenced while on probation — is promoted to the
+// protected LRU queue (Am). One-touch scans therefore flow through
+// probation without flushing the hot set — the weakness of plain LRU that
+// Table 3's "Other" slot invites exploring.
+type twoQ struct {
+	sizeHint int
+	a1Max    int // probation target (¼ of capacity)
+	ghostMax int // ghost capacity (½ of capacity)
+
+	a1      *pageList
+	am      *pageList
+	a1Nodes map[PageID]*node
+	amNodes map[PageID]*node
+
+	ghosts   *pageList
+	ghostSet map[PageID]*node
+}
+
+// NewTwoQ returns a 2Q policy. sizeHint is the buffer capacity; the
+// probation target is a quarter of it and the ghost queue half, per the
+// original paper's recommendation. It panics if sizeHint < 4.
+func NewTwoQ(sizeHint int) Policy {
+	if sizeHint < 4 {
+		panic("buffer: 2Q needs a size hint ≥ 4")
+	}
+	p := &twoQ{sizeHint: sizeHint}
+	p.Reset()
+	return p
+}
+
+func (p *twoQ) Name() string { return "2Q" }
+
+func (p *twoQ) Reset() {
+	p.a1Max = p.sizeHint / 4
+	if p.a1Max < 1 {
+		p.a1Max = 1
+	}
+	p.ghostMax = p.sizeHint / 2
+	if p.ghostMax < 1 {
+		p.ghostMax = 1
+	}
+	p.a1 = newPageList()
+	p.am = newPageList()
+	p.a1Nodes = make(map[PageID]*node)
+	p.amNodes = make(map[PageID]*node)
+	p.ghosts = newPageList()
+	p.ghostSet = make(map[PageID]*node)
+}
+
+func (p *twoQ) Inserted(pg PageID) {
+	if g, ok := p.ghostSet[pg]; ok {
+		// Recently evicted from probation: this is a genuine re-reference.
+		p.ghosts.remove(g)
+		delete(p.ghostSet, pg)
+		n := &node{page: pg}
+		p.amNodes[pg] = n
+		p.am.pushFront(n)
+		return
+	}
+	n := &node{page: pg}
+	p.a1Nodes[pg] = n
+	p.a1.pushFront(n)
+}
+
+// InsertedCold places the page at the probation queue's eviction end.
+func (p *twoQ) InsertedCold(pg PageID) {
+	n := &node{page: pg}
+	p.a1Nodes[pg] = n
+	p.a1.pushBack(n)
+}
+
+func (p *twoQ) Touched(pg PageID) {
+	if n, ok := p.a1Nodes[pg]; ok {
+		// Promotion: probation → protected.
+		p.a1.remove(n)
+		delete(p.a1Nodes, pg)
+		m := &node{page: pg}
+		p.amNodes[pg] = m
+		p.am.pushFront(m)
+		return
+	}
+	if n, ok := p.amNodes[pg]; ok {
+		p.am.moveToFront(n)
+	}
+}
+
+func (p *twoQ) Victim() PageID {
+	// Drain probation beyond its target first; then protected LRU; then
+	// whatever probation still holds.
+	if p.a1.len > p.a1Max || (p.a1.len > 0 && p.am.len == 0) {
+		return p.evictProbation()
+	}
+	if p.am.len > 0 {
+		n := p.am.back()
+		p.am.remove(n)
+		delete(p.amNodes, n.page)
+		return n.page
+	}
+	if p.a1.len > 0 {
+		return p.evictProbation()
+	}
+	panic("buffer: 2Q victim of empty policy")
+}
+
+func (p *twoQ) evictProbation() PageID {
+	n := p.a1.back()
+	p.a1.remove(n)
+	delete(p.a1Nodes, n.page)
+	// Remember the identifier in the ghost queue.
+	g := &node{page: n.page}
+	p.ghostSet[n.page] = g
+	p.ghosts.pushFront(g)
+	if p.ghosts.len > p.ghostMax {
+		old := p.ghosts.back()
+		p.ghosts.remove(old)
+		delete(p.ghostSet, old.page)
+	}
+	return n.page
+}
+
+func (p *twoQ) Removed(pg PageID) {
+	if n, ok := p.a1Nodes[pg]; ok {
+		p.a1.remove(n)
+		delete(p.a1Nodes, pg)
+		return
+	}
+	if n, ok := p.amNodes[pg]; ok {
+		p.am.remove(n)
+		delete(p.amNodes, pg)
+	}
+}

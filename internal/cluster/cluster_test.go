@@ -1,0 +1,273 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/ocb"
+)
+
+func feed(p Policy, txs [][]ocb.OID) {
+	for _, tx := range txs {
+		prev := ocb.NilRef
+		for _, o := range tx {
+			p.Observe(o, prev, false)
+			prev = o
+		}
+		p.EndTransaction()
+	}
+}
+
+func TestNonePolicy(t *testing.T) {
+	var n None
+	feed(n, [][]ocb.OID{{1, 2, 3}, {1, 2, 3}})
+	if n.Name() != "None" || n.ShouldTrigger() || n.BuildClusters() != nil {
+		t.Fatal("None policy must do nothing")
+	}
+	n.Reset()
+}
+
+func TestDSTCParamsValidate(t *testing.T) {
+	if err := DefaultDSTCParams().Validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+	bad := []DSTCParams{
+		{ObservationPeriod: 0, MinUsage: 1, MinLink: 1, MaxClusterSize: 2},
+		{ObservationPeriod: 1, MinUsage: 0, MinLink: 1, MaxClusterSize: 2},
+		{ObservationPeriod: 1, MinUsage: 1, MinLink: 0, MaxClusterSize: 2},
+		{ObservationPeriod: 1, MinUsage: 1, MinLink: 1, MaxClusterSize: 1},
+		{ObservationPeriod: 1, MinUsage: 1, MinLink: 1, MaxClusterSize: 2, TriggerCandidates: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestDSTCClustersRepeatedPattern(t *testing.T) {
+	p := DefaultDSTCParams()
+	p.MinUsage = 2
+	p.MinLink = 2
+	d := NewDSTC(p)
+	// The chain 1→2→3 runs three times; 7→8 once. Only the chain should
+	// cluster.
+	feed(d, [][]ocb.OID{
+		{1, 2, 3}, {1, 2, 3}, {1, 2, 3}, {7, 8},
+	})
+	clusters := d.BuildClusters()
+	if len(clusters) != 1 {
+		t.Fatalf("clusters = %v, want one", clusters)
+	}
+	got := map[ocb.OID]bool{}
+	for _, o := range clusters[0] {
+		got[o] = true
+	}
+	if !got[1] || !got[2] || !got[3] || got[7] || got[8] {
+		t.Fatalf("cluster contents = %v", clusters[0])
+	}
+}
+
+func TestDSTCLinkDirectionsMerge(t *testing.T) {
+	d := NewDSTC(DSTCParams{ObservationPeriod: 1, MinUsage: 2, MinLink: 2, MaxClusterSize: 8})
+	// a→b once and b→a once: merged weight 2 passes MinLink.
+	feed(d, [][]ocb.OID{{10, 20}, {20, 10}})
+	clusters := d.BuildClusters()
+	if len(clusters) != 1 || len(clusters[0]) != 2 {
+		t.Fatalf("clusters = %v", clusters)
+	}
+}
+
+func TestDSTCRespectsMaxClusterSize(t *testing.T) {
+	p := DSTCParams{ObservationPeriod: 1, MinUsage: 2, MinLink: 2, MaxClusterSize: 3}
+	d := NewDSTC(p)
+	chain := []ocb.OID{1, 2, 3, 4, 5, 6}
+	feed(d, [][]ocb.OID{chain, chain, chain})
+	clusters := d.BuildClusters()
+	for _, c := range clusters {
+		if len(c) > 3 {
+			t.Fatalf("cluster %v exceeds max size 3", c)
+		}
+	}
+	total := 0
+	for _, c := range clusters {
+		total += len(c)
+	}
+	if total != 6 {
+		t.Fatalf("clustered %d objects, want all 6", total)
+	}
+}
+
+func TestDSTCStrongestLinksFirst(t *testing.T) {
+	// Links: (1,2) weight 5, (3,4) weight 2. First cluster must contain 1,2.
+	d := NewDSTC(DSTCParams{ObservationPeriod: 1, MinUsage: 2, MinLink: 2, MaxClusterSize: 2})
+	for i := 0; i < 5; i++ {
+		feed(d, [][]ocb.OID{{1, 2}})
+	}
+	feed(d, [][]ocb.OID{{3, 4}, {3, 4}})
+	clusters := d.BuildClusters()
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %v", clusters)
+	}
+	if clusters[0][0] != 1 || clusters[0][1] != 2 {
+		t.Fatalf("first cluster = %v, want [1 2]", clusters[0])
+	}
+}
+
+func TestDSTCThresholdsFilter(t *testing.T) {
+	// With MinLink 3 a weight-2 link must not cluster.
+	d := NewDSTC(DSTCParams{ObservationPeriod: 1, MinUsage: 1, MinLink: 3, MaxClusterSize: 4})
+	feed(d, [][]ocb.OID{{1, 2}, {1, 2}})
+	if clusters := d.BuildClusters(); len(clusters) != 0 {
+		t.Fatalf("clusters = %v, want none", clusters)
+	}
+}
+
+func TestDSTCBuildResetsStatistics(t *testing.T) {
+	d := NewDSTC(DSTCParams{ObservationPeriod: 1, MinUsage: 2, MinLink: 2, MaxClusterSize: 4})
+	feed(d, [][]ocb.OID{{1, 2}, {1, 2}})
+	if got := d.BuildClusters(); len(got) != 1 {
+		t.Fatalf("first build = %v", got)
+	}
+	if got := d.BuildClusters(); len(got) != 0 {
+		t.Fatalf("second build without new observations = %v, want none", got)
+	}
+	if d.Builds() != 2 {
+		t.Fatalf("Builds = %d", d.Builds())
+	}
+}
+
+func TestDSTCAutomaticTrigger(t *testing.T) {
+	p := DSTCParams{ObservationPeriod: 1, MinUsage: 2, MinLink: 2, MaxClusterSize: 4, TriggerCandidates: 2}
+	d := NewDSTC(p)
+	if d.ShouldTrigger() {
+		t.Fatal("trigger before any observation")
+	}
+	feed(d, [][]ocb.OID{{1, 2}, {1, 2}})
+	if !d.ShouldTrigger() {
+		t.Fatal("trigger expected: two candidates with usage ≥ 2")
+	}
+	// TriggerCandidates = 0 disables.
+	d0 := NewDSTC(DSTCParams{ObservationPeriod: 1, MinUsage: 1, MinLink: 1, MaxClusterSize: 4})
+	feed(d0, [][]ocb.OID{{1, 2}})
+	if d0.ShouldTrigger() {
+		t.Fatal("trigger with TriggerCandidates = 0")
+	}
+}
+
+func TestDSTCConsolidationAcrossPeriods(t *testing.T) {
+	// One access per period: period stats alone never reach MinUsage 2,
+	// consolidation must accumulate them.
+	d := NewDSTC(DSTCParams{ObservationPeriod: 1, MinUsage: 2, MinLink: 2, MaxClusterSize: 4})
+	feed(d, [][]ocb.OID{{5, 6}})
+	feed(d, [][]ocb.OID{{5, 6}})
+	if clusters := d.BuildClusters(); len(clusters) != 1 {
+		t.Fatalf("clusters = %v, want one after consolidation", clusters)
+	}
+}
+
+func TestDSTCObservedTransactions(t *testing.T) {
+	d := NewDSTC(DefaultDSTCParams())
+	feed(d, [][]ocb.OID{{1}, {2}, {3}})
+	if d.ObservedTransactions() != 3 {
+		t.Fatalf("observed = %d", d.ObservedTransactions())
+	}
+}
+
+func TestDSTCNoSelfLinks(t *testing.T) {
+	d := NewDSTC(DSTCParams{ObservationPeriod: 1, MinUsage: 1, MinLink: 1, MaxClusterSize: 4})
+	feed(d, [][]ocb.OID{{9, 9, 9}})
+	if clusters := d.BuildClusters(); len(clusters) != 0 {
+		t.Fatalf("self-link produced clusters: %v", clusters)
+	}
+}
+
+func TestDSTCClusterMembersUnique(t *testing.T) {
+	d := NewDSTC(DSTCParams{ObservationPeriod: 1, MinUsage: 1, MinLink: 1, MaxClusterSize: 16})
+	feed(d, [][]ocb.OID{
+		{1, 2, 3, 1, 2}, {2, 3, 4}, {4, 5, 1},
+	})
+	clusters := d.BuildClusters()
+	seen := map[ocb.OID]bool{}
+	for _, c := range clusters {
+		for _, o := range c {
+			if seen[o] {
+				t.Fatalf("object %d in two clusters: %v", o, clusters)
+			}
+			seen[o] = true
+		}
+	}
+}
+
+func TestGreedyGraphBasics(t *testing.T) {
+	g := NewGreedyGraph(2, 4)
+	feed(g, [][]ocb.OID{{1, 2, 3}, {1, 2, 3}, {8, 9}})
+	clusters := g.BuildClusters()
+	if len(clusters) != 1 {
+		t.Fatalf("clusters = %v", clusters)
+	}
+	if g.Name() != "GreedyGraph" || g.ShouldTrigger() {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestGreedyGraphMergesComponents(t *testing.T) {
+	g := NewGreedyGraph(1, 10)
+	feed(g, [][]ocb.OID{{1, 2}, {3, 4}, {2, 3}})
+	clusters := g.BuildClusters()
+	if len(clusters) != 1 || len(clusters[0]) != 4 {
+		t.Fatalf("clusters = %v, want one of size 4", clusters)
+	}
+}
+
+func TestGreedyGraphSizeCap(t *testing.T) {
+	g := NewGreedyGraph(1, 3)
+	feed(g, [][]ocb.OID{{1, 2}, {3, 4}, {2, 3}, {4, 5}})
+	for _, c := range g.BuildClusters() {
+		if len(c) > 3 {
+			t.Fatalf("cluster %v exceeds cap", c)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([][]ocb.OID{{1, 2, 3}, {4, 5}})
+	if s.Clusters != 2 || s.ObjectsInThem != 5 || s.MeanObjPerClus != 2.5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	empty := Summarize(nil)
+	if empty.Clusters != 0 || empty.MeanObjPerClus != 0 {
+		t.Fatalf("empty summary = %+v", empty)
+	}
+}
+
+// Calibration against Table 7: 1000 depth-3 hierarchy traversals over the
+// mid-size OCB base must produce on the order of 80 clusters of ≈ 13
+// objects (paper: 82.2/84.0 clusters, 12.8/13.7 objects per cluster).
+func TestDSTCTable7Calibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration skipped in -short mode")
+	}
+	db, err := ocb.Generate(ocb.DSTCExperimentParams(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs := ocb.GenerateHierarchyWorkload(db, 2000, 1000, 3)
+	d := NewDSTC(DefaultDSTCParams())
+	for _, tx := range txs {
+		prev := ocb.NilRef
+		for _, op := range tx.Ops {
+			d.Observe(op.Object, prev, op.Write)
+			prev = op.Object
+		}
+		d.EndTransaction()
+	}
+	s := Summarize(d.BuildClusters())
+	t.Logf("calibration: %d clusters, %.2f objects/cluster, %d objects total",
+		s.Clusters, s.MeanObjPerClus, s.ObjectsInThem)
+	if s.Clusters < 40 || s.Clusters > 170 {
+		t.Errorf("clusters = %d, want ≈ 82 (Table 7)", s.Clusters)
+	}
+	if s.MeanObjPerClus < 6 || s.MeanObjPerClus > 26 {
+		t.Errorf("objects/cluster = %.2f, want ≈ 13 (Table 7)", s.MeanObjPerClus)
+	}
+}

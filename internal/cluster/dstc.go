@@ -1,0 +1,262 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ocb"
+)
+
+// DSTCParams tunes the DSTC policy. The names follow the phases of Bullat
+// & Schneider's description: an observation phase fills per-period
+// statistics, a selection phase filters them by thresholds, and a
+// clustering phase builds cluster units by walking the filtered link graph
+// in decreasing weight order.
+type DSTCParams struct {
+	// ObservationPeriod is the number of transactions per observation
+	// phase; at each phase end the period statistics are consolidated.
+	ObservationPeriod int
+	// MinUsage is the Tfa threshold: objects accessed fewer times (in the
+	// consolidated statistics) are not clustering candidates.
+	MinUsage int
+	// MinLink is the w threshold: links weaker than this are ignored.
+	MinLink int
+	// MaxClusterSize caps the number of objects per cluster unit.
+	MaxClusterSize int
+	// TriggerCandidates arms automatic triggering once at least this many
+	// candidate objects exist (0 disables automatic triggering).
+	TriggerCandidates int
+}
+
+// DefaultDSTCParams returns the tuning used in the paper reproduction
+// (calibrated so that the Table 7 cluster statistics match: ≈ 80 clusters
+// of ≈ 13 objects for 1000 depth-3 hierarchy traversals over the mid-size
+// base).
+func DefaultDSTCParams() DSTCParams {
+	return DSTCParams{
+		ObservationPeriod: 100,
+		MinUsage:          2,
+		MinLink:           1,
+		MaxClusterSize:    32,
+		TriggerCandidates: 0,
+	}
+}
+
+// Validate checks the parameters.
+func (p DSTCParams) Validate() error {
+	switch {
+	case p.ObservationPeriod < 1:
+		return fmt.Errorf("cluster: ObservationPeriod = %d", p.ObservationPeriod)
+	case p.MinUsage < 1 || p.MinLink < 1:
+		return fmt.Errorf("cluster: thresholds must be ≥ 1 (usage %d, link %d)", p.MinUsage, p.MinLink)
+	case p.MaxClusterSize < 2:
+		return fmt.Errorf("cluster: MaxClusterSize = %d", p.MaxClusterSize)
+	case p.TriggerCandidates < 0:
+		return fmt.Errorf("cluster: TriggerCandidates = %d", p.TriggerCandidates)
+	}
+	return nil
+}
+
+// linkKey packs a directed object pair.
+type linkKey uint64
+
+func mkLink(a, b ocb.OID) linkKey { return linkKey(uint64(uint32(a))<<32 | uint64(uint32(b))) }
+
+func (k linkKey) split() (a, b ocb.OID) {
+	return ocb.OID(uint32(k >> 32)), ocb.OID(uint32(k))
+}
+
+// DSTC implements the Dynamic, Statistical and Tunable Clustering
+// technique: per-period access counting (observation), threshold filtering
+// (selection), and weight-ordered cluster-unit construction (clustering).
+type DSTC struct {
+	params DSTCParams
+
+	// Period statistics (observation phase).
+	periodUsage map[ocb.OID]int
+	periodLinks map[linkKey]int
+	periodTx    int
+
+	// Consolidated statistics.
+	usage map[ocb.OID]int
+	links map[linkKey]int
+
+	observedTx uint64
+	builds     int
+}
+
+// NewDSTC returns a DSTC policy; it panics on invalid parameters (a
+// configuration bug, not a runtime condition).
+func NewDSTC(params DSTCParams) *DSTC {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	d := &DSTC{params: params}
+	d.Reset()
+	return d
+}
+
+// Name returns "DSTC".
+func (d *DSTC) Name() string { return "DSTC" }
+
+// Params returns the tuning in effect.
+func (d *DSTC) Params() DSTCParams { return d.params }
+
+// Reset drops all statistics.
+func (d *DSTC) Reset() {
+	d.periodUsage = make(map[ocb.OID]int)
+	d.periodLinks = make(map[linkKey]int)
+	d.periodTx = 0
+	d.usage = make(map[ocb.OID]int)
+	d.links = make(map[linkKey]int)
+}
+
+// Observe records one access and, when prev is valid, the transition link
+// prev → o. Links are direction-insensitive at clustering time but stored
+// directed (cheaper, and the merge happens once per build).
+func (d *DSTC) Observe(o, prev ocb.OID, _ bool) {
+	d.periodUsage[o]++
+	if prev != ocb.NilRef && prev != o {
+		d.periodLinks[mkLink(prev, o)]++
+	}
+}
+
+// EndTransaction advances the observation phase; at each period boundary
+// the period statistics are consolidated.
+func (d *DSTC) EndTransaction() {
+	d.observedTx++
+	d.periodTx++
+	if d.periodTx >= d.params.ObservationPeriod {
+		d.consolidate()
+	}
+}
+
+func (d *DSTC) consolidate() {
+	for o, c := range d.periodUsage {
+		d.usage[o] += c
+	}
+	for k, c := range d.periodLinks {
+		d.links[k] += c
+	}
+	d.periodUsage = make(map[ocb.OID]int)
+	d.periodLinks = make(map[linkKey]int)
+	d.periodTx = 0
+}
+
+// ObservedTransactions returns the number of completed transactions seen.
+func (d *DSTC) ObservedTransactions() uint64 { return d.observedTx }
+
+// ShouldTrigger reports whether enough clustering candidates accumulated
+// (selection-phase filter applied to the consolidated statistics).
+func (d *DSTC) ShouldTrigger() bool {
+	if d.params.TriggerCandidates == 0 {
+		return false
+	}
+	candidates := 0
+	for _, c := range d.usage {
+		if c >= d.params.MinUsage {
+			candidates++
+			if candidates >= d.params.TriggerCandidates {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// weightedLink is an undirected, filtered link.
+type weightedLink struct {
+	a, b   ocb.OID
+	weight int
+}
+
+// BuildClusters runs the selection and clustering phases: merge directed
+// links, drop links below MinLink or touching objects below MinUsage, then
+// grow cluster units greedily from the strongest links, strongest-neighbor
+// first — the placement order of the unit. Statistics are cleared
+// afterwards (DSTC starts a fresh observation cycle after reorganizing).
+func (d *DSTC) BuildClusters() [][]ocb.OID {
+	d.consolidate() // fold any partial period in
+
+	// Merge directions: weight(a,b) = directed(a,b) + directed(b,a).
+	merged := make(map[linkKey]int, len(d.links))
+	for k, c := range d.links {
+		a, b := k.split()
+		if a > b {
+			a, b = b, a
+		}
+		merged[mkLink(a, b)] += c
+	}
+	var links []weightedLink
+	for k, w := range merged {
+		a, b := k.split()
+		if w < d.params.MinLink {
+			continue
+		}
+		if d.usage[a] < d.params.MinUsage || d.usage[b] < d.params.MinUsage {
+			continue
+		}
+		links = append(links, weightedLink{a: a, b: b, weight: w})
+	}
+	// Deterministic strongest-first order.
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].weight != links[j].weight {
+			return links[i].weight > links[j].weight
+		}
+		if links[i].a != links[j].a {
+			return links[i].a < links[j].a
+		}
+		return links[i].b < links[j].b
+	})
+
+	// Adjacency over filtered links.
+	adj := make(map[ocb.OID][]weightedLink)
+	for _, l := range links {
+		adj[l.a] = append(adj[l.a], l)
+		adj[l.b] = append(adj[l.b], l)
+	}
+
+	clustered := make(map[ocb.OID]bool)
+	var clusters [][]ocb.OID
+	for _, seed := range links {
+		if clustered[seed.a] || clustered[seed.b] {
+			continue
+		}
+		unit := []ocb.OID{seed.a, seed.b}
+		clustered[seed.a], clustered[seed.b] = true, true
+		// Grow: repeatedly attach the strongest unclustered neighbor of
+		// any unit member.
+		for len(unit) < d.params.MaxClusterSize {
+			best := weightedLink{weight: -1}
+			var bestTarget ocb.OID
+			for _, member := range unit {
+				for _, l := range adj[member] {
+					other := l.a
+					if other == member {
+						other = l.b
+					}
+					if clustered[other] {
+						continue
+					}
+					if l.weight > best.weight ||
+						(l.weight == best.weight && other < bestTarget) {
+						best = l
+						bestTarget = other
+					}
+				}
+			}
+			if best.weight < 0 {
+				break
+			}
+			unit = append(unit, bestTarget)
+			clustered[bestTarget] = true
+		}
+		clusters = append(clusters, unit)
+	}
+	d.builds++
+	d.Reset()
+	return clusters
+}
+
+// Builds returns how many times BuildClusters ran.
+func (d *DSTC) Builds() int { return d.builds }

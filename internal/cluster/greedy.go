@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"sort"
+
+	"repro/internal/ocb"
+)
+
+// GreedyGraph is a simpler dynamic clustering baseline: it records the same
+// transition links as DSTC but builds clusters by union-find over links in
+// decreasing weight order, without usage-count filtering or ordered unit
+// growth. It stands in for the "other clustering strategies" the paper
+// plans to compare DSTC against (§5) and gives the benchmarks a second
+// CLUSTP module to swap in.
+type GreedyGraph struct {
+	minLink int
+	maxSize int
+	links   map[linkKey]int
+	txSeen  uint64
+}
+
+// NewGreedyGraph returns the baseline policy. minLink filters weak links;
+// maxSize caps cluster size.
+func NewGreedyGraph(minLink, maxSize int) *GreedyGraph {
+	if minLink < 1 || maxSize < 2 {
+		panic("cluster: bad GreedyGraph parameters")
+	}
+	g := &GreedyGraph{minLink: minLink, maxSize: maxSize}
+	g.Reset()
+	return g
+}
+
+// Name returns "GreedyGraph".
+func (g *GreedyGraph) Name() string { return "GreedyGraph" }
+
+// Observe records the transition link.
+func (g *GreedyGraph) Observe(o, prev ocb.OID, _ bool) {
+	if prev != ocb.NilRef && prev != o {
+		a, b := prev, o
+		if a > b {
+			a, b = b, a
+		}
+		g.links[mkLink(a, b)]++
+	}
+}
+
+// EndTransaction counts transactions.
+func (g *GreedyGraph) EndTransaction() { g.txSeen++ }
+
+// ShouldTrigger never triggers automatically; the baseline is run on
+// demand.
+func (g *GreedyGraph) ShouldTrigger() bool { return false }
+
+// Reset drops the statistics.
+func (g *GreedyGraph) Reset() { g.links = make(map[linkKey]int) }
+
+// BuildClusters merges links strongest-first into bounded clusters.
+func (g *GreedyGraph) BuildClusters() [][]ocb.OID {
+	var links []weightedLink
+	for k, w := range g.links {
+		if w < g.minLink {
+			continue
+		}
+		a, b := k.split()
+		links = append(links, weightedLink{a: a, b: b, weight: w})
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].weight != links[j].weight {
+			return links[i].weight > links[j].weight
+		}
+		if links[i].a != links[j].a {
+			return links[i].a < links[j].a
+		}
+		return links[i].b < links[j].b
+	})
+
+	clusterOf := make(map[ocb.OID]int)
+	var clusters [][]ocb.OID
+	for _, l := range links {
+		ca, aok := clusterOf[l.a]
+		cb, bok := clusterOf[l.b]
+		switch {
+		case !aok && !bok:
+			clusters = append(clusters, []ocb.OID{l.a, l.b})
+			clusterOf[l.a] = len(clusters) - 1
+			clusterOf[l.b] = len(clusters) - 1
+		case aok && !bok:
+			if len(clusters[ca]) < g.maxSize {
+				clusters[ca] = append(clusters[ca], l.b)
+				clusterOf[l.b] = ca
+			}
+		case !aok && bok:
+			if len(clusters[cb]) < g.maxSize {
+				clusters[cb] = append(clusters[cb], l.a)
+				clusterOf[l.a] = cb
+			}
+		case ca != cb && len(clusters[ca])+len(clusters[cb]) <= g.maxSize:
+			// Merge the smaller into the larger.
+			if len(clusters[ca]) < len(clusters[cb]) {
+				ca, cb = cb, ca
+			}
+			for _, o := range clusters[cb] {
+				clusterOf[o] = ca
+			}
+			clusters[ca] = append(clusters[ca], clusters[cb]...)
+			clusters[cb] = nil
+		}
+	}
+	g.Reset()
+	// Drop merged-away husks.
+	out := clusters[:0]
+	for _, c := range clusters {
+		if len(c) >= 2 {
+			out = append(out, c)
+		}
+	}
+	return out
+}

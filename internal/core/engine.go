@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ocb"
+	"repro/internal/stats"
+)
+
+// Result aggregates a replicated experiment. Every metric is a sample over
+// replications; confidence intervals follow §4.2.2 of the paper (Student-t,
+// 95 % by default).
+type Result struct {
+	Confidence float64
+
+	IOs        stats.Sample // the paper's headline metric
+	Reads      stats.Sample
+	Writes     stats.Sample
+	HitRatio   stats.Sample
+	RespMs     stats.Sample
+	Throughput stats.Sample
+}
+
+// IOsCI returns the confidence interval of the mean I/O count.
+func (res *Result) IOsCI() stats.Interval {
+	return stats.ConfidenceInterval(&res.IOs, res.Confidence)
+}
+
+// Experiment describes one replicated simulation: a system configuration, a
+// workload parameterization, and replication control.
+type Experiment struct {
+	Config Config
+	Params ocb.Params
+	// Seed derives every replication's random streams.
+	Seed uint64
+	// Replications is the number of independent replications (the paper
+	// used 100).
+	Replications int
+	// Confidence is the CI level (default 0.95 when zero).
+	Confidence float64
+}
+
+func (e Experiment) confidence() float64 {
+	if e.Confidence == 0 {
+		return 0.95
+	}
+	return e.Confidence
+}
+
+// Run executes the experiment: each replication generates a fresh object
+// base and workload from replication-specific seeds, builds a fresh model,
+// plays the cold run unmeasured and the hot run measured.
+func (e Experiment) Run() (*Result, error) {
+	if e.Replications < 1 {
+		return nil, fmt.Errorf("core: Replications = %d", e.Replications)
+	}
+	if err := e.Params.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Confidence: e.confidence()}
+	for rep := 0; rep < e.Replications; rep++ {
+		repSeed := e.Seed + uint64(rep)*0x9e3779b9
+		db, err := ocb.Generate(e.Params, repSeed)
+		if err != nil {
+			return nil, err
+		}
+		run, err := NewRun(e.Config, db, repSeed)
+		if err != nil {
+			return nil, err
+		}
+		w := ocb.GenerateWorkload(db, repSeed+1)
+		if len(w.Cold) > 0 {
+			run.ExecuteBatch(w.Cold)
+		}
+		st := run.ExecuteBatch(w.Hot)
+		res.IOs.Add(float64(st.IOs))
+		res.Reads.Add(float64(st.Reads))
+		res.Writes.Add(float64(st.Writes))
+		res.HitRatio.Add(st.HitRatio)
+		res.RespMs.Add(st.MeanRespMs)
+		res.Throughput.Add(st.ThroughputTPS)
+	}
+	return res, nil
+}
+
+// DSTCResult aggregates the paper's §4.4 protocol over replications: usage
+// before clustering, the reorganization overhead, usage after clustering,
+// the gain (Tables 6 and 8), and the cluster statistics (Table 7).
+type DSTCResult struct {
+	Confidence float64
+
+	PreIOs      stats.Sample
+	OverheadIOs stats.Sample
+	PostIOs     stats.Sample
+	Gain        stats.Sample
+	Clusters    stats.Sample
+	ObjPerClus  stats.Sample
+}
+
+// DSTCExperiment is the §4.4 protocol: run characteristic hierarchy
+// traversals, reorganize with the configured clustering policy, run a fresh
+// draw of the same workload, and compare.
+type DSTCExperiment struct {
+	Config Config
+	Params ocb.Params
+	// Transactions per phase (the paper used HOTN = 1000).
+	Transactions int
+	// Depth of the hierarchy traversals (the paper used 3).
+	Depth        int
+	Seed         uint64
+	Replications int
+	Confidence   float64
+}
+
+// Run executes the DSTC experiment.
+func (e DSTCExperiment) Run() (*DSTCResult, error) {
+	if e.Replications < 1 {
+		return nil, fmt.Errorf("core: Replications = %d", e.Replications)
+	}
+	if err := e.Params.Validate(); err != nil {
+		return nil, err
+	}
+	conf := e.Confidence
+	if conf == 0 {
+		conf = 0.95
+	}
+	res := &DSTCResult{Confidence: conf}
+	for rep := 0; rep < e.Replications; rep++ {
+		repSeed := e.Seed + uint64(rep)*0x9e3779b9
+		db, err := ocb.Generate(e.Params, repSeed)
+		if err != nil {
+			return nil, err
+		}
+		run, err := NewRun(e.Config, db, repSeed)
+		if err != nil {
+			return nil, err
+		}
+		pre := run.ExecuteBatch(ocb.GenerateHierarchyWorkload(db, repSeed+1, e.Transactions, e.Depth))
+		run.PerformClustering(func() {})
+		run.sim.Run() // drain the reorganization's scheduled I/O
+		reorg := run.LastReorgReport()
+		post := run.ExecuteBatch(ocb.GenerateHierarchyWorkload(db, repSeed+2, e.Transactions, e.Depth))
+
+		res.PreIOs.Add(float64(pre.IOs))
+		res.OverheadIOs.Add(float64(reorg.IOs()))
+		res.PostIOs.Add(float64(post.IOs))
+		if post.IOs > 0 {
+			res.Gain.Add(float64(pre.IOs) / float64(post.IOs))
+		}
+		res.Clusters.Add(float64(reorg.Summary.Clusters))
+		res.ObjPerClus.Add(reorg.Summary.MeanObjPerClus)
+	}
+	return res, nil
+}

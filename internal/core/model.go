@@ -1,0 +1,274 @@
+package core
+
+import (
+	"repro/internal/buffer"
+	"repro/internal/cluster"
+	"repro/internal/disk"
+	"repro/internal/lock"
+	"repro/internal/netsim"
+	"repro/internal/ocb"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/storage"
+)
+
+// Run is one instantiated VOODB model over one object base: the evaluation
+// model obtained by translating the knowledge model (Table 2). A Run
+// executes transaction batches and reorganizations and accumulates metrics;
+// replications build a fresh Run each.
+type Run struct {
+	cfg Config
+
+	sim   *sim.Simulation
+	db    *ocb.Database
+	store *storage.Store
+	buf   *buffer.Manager
+	dsk   *disk.Model
+	net   *netsim.Model
+	locks *lock.Manager
+
+	// Passive resources (Table 1).
+	diskRes   *sim.Resource // server disk controller
+	serverCPU *sim.Resource // server processor(s)
+	clientCPU *sim.Resource // client processor
+	admission *sim.Resource // database scheduler (MULTILVL tokens)
+
+	clusterer cluster.Policy
+	failures  *failureInjector
+
+	// Counters (see also the substrate models' own counters).
+	txDone      uint64
+	txAborted   uint64
+	respTotal   float64
+	respDist    stats.Quantiles
+	activeTx    int
+	lastSummary cluster.Summary
+	lastReorg   ReorgReport
+	reorgIOs    uint64
+}
+
+// NewRun instantiates the model for db with cfg. The seed feeds the
+// stochastic policies (e.g. the RANDOM buffer policy); the workload's own
+// randomness lives in the transactions passed to ExecuteBatch.
+func NewRun(cfg Config, db *ocb.Database, seed uint64) (*Run, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	st, err := storage.New(db, storage.Config{
+		PageSize:     cfg.PageSize,
+		Overhead:     cfg.StorageOverhead,
+		Placement:    cfg.Placement,
+		PhysicalOIDs: cfg.PhysicalOIDs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pol, err := buffer.NewPolicySized(cfg.BufferPolicy, rng.NewStream(seed, 20), cfg.BufferPages)
+	if err != nil {
+		return nil, err
+	}
+	s := sim.New()
+	r := &Run{
+		cfg:       cfg,
+		sim:       s,
+		db:        db,
+		store:     st,
+		buf:       buffer.New(cfg.BufferPages, pol),
+		dsk:       disk.New(cfg.DiskSeekMs, cfg.DiskLatencyMs, cfg.DiskTransferMs),
+		net:       netsim.New(cfg.NetThroughputMBps, cfg.NetLatencyMs),
+		locks:     lock.NewManager(),
+		diskRes:   sim.NewResource(s, "disk", 1),
+		serverCPU: sim.NewResource(s, "serverCPU", cfg.ServerCPUs),
+		clientCPU: sim.NewResource(s, "clientCPU", 1),
+		admission: sim.NewResource(s, "database", cfg.MPL),
+	}
+	r.buf.SetReserveCold(cfg.ReserveCold)
+	if cfg.Failures.Enabled {
+		r.failures = newFailureInjector(r, cfg.Failures, rng.NewStream(seed, 21))
+	}
+	switch cfg.Clustering {
+	case DSTC:
+		r.clusterer = cluster.NewDSTC(cfg.DSTCParams)
+	case GreedyGraph:
+		r.clusterer = cluster.NewGreedyGraph(2, cfg.DSTCParams.MaxClusterSize)
+	default:
+		r.clusterer = cluster.None{}
+	}
+	return r, nil
+}
+
+// Config returns the configuration.
+func (r *Run) Config() Config { return r.cfg }
+
+// Store exposes the object store (for inspection in tests and reports).
+func (r *Run) Store() *storage.Store { return r.store }
+
+// Buffer exposes the buffer manager.
+func (r *Run) Buffer() *buffer.Manager { return r.buf }
+
+// Disk exposes the disk model.
+func (r *Run) Disk() *disk.Model { return r.dsk }
+
+// Clusterer exposes the clustering policy.
+func (r *Run) Clusterer() cluster.Policy { return r.clusterer }
+
+// Now returns the current simulated time (ms).
+func (r *Run) Now() float64 { return r.sim.Now() }
+
+// LastClusterSummary returns the Table 7 statistics of the most recent
+// reorganization.
+func (r *Run) LastClusterSummary() cluster.Summary { return r.lastSummary }
+
+// --- scheduling helpers ---
+
+// after runs fn after d simulated ms; zero-cost steps run inline to keep
+// the event count down.
+func (r *Run) after(d float64, fn func()) {
+	if d <= 0 {
+		fn()
+		return
+	}
+	r.sim.Schedule(d, fn)
+}
+
+// use acquires res, holds it for service() ms, releases, then continues.
+// service is evaluated at grant time (disk head position, for example,
+// depends on it).
+func (r *Run) use(res *sim.Resource, service func() float64, then func()) {
+	res.Request(func() {
+		d := service()
+		if d <= 0 {
+			res.Release()
+			then()
+			return
+		}
+		r.sim.Schedule(d, func() {
+			res.Release()
+			then()
+		})
+	})
+}
+
+// readPage performs a physical read of page p through the disk controller.
+func (r *Run) readPage(p disk.PageID, then func()) {
+	r.use(r.diskRes, func() float64 { return r.dsk.ReadTime(p) }, then)
+}
+
+// writePage performs a physical write of page p.
+func (r *Run) writePage(p disk.PageID, then func()) {
+	r.use(r.diskRes, func() float64 { return r.dsk.WriteTime(p) }, then)
+}
+
+// writePages writes a list of pages back-to-back, then continues.
+func (r *Run) writePages(pages []disk.PageID, then func()) {
+	if len(pages) == 0 {
+		then()
+		return
+	}
+	r.writePage(pages[0], func() { r.writePages(pages[1:], then) })
+}
+
+// BatchStats reports what one ExecuteBatch did.
+type BatchStats struct {
+	Transactions  uint64
+	Aborts        uint64
+	Reads         uint64
+	Writes        uint64
+	IOs           uint64
+	Hits          uint64
+	Misses        uint64
+	HitRatio      float64
+	ElapsedMs     float64
+	MeanRespMs    float64
+	MedianRespMs  float64
+	P95RespMs     float64
+	ThroughputTPS float64
+
+	// Passive-resource utilizations over the batch (Table 1 resources).
+	DiskUtilization float64
+	CPUUtilization  float64
+	MPLOccupancy    float64
+}
+
+// ExecuteBatch runs the given transactions to completion: cfg.Users user
+// processes pull transactions from the stream, each submitting through the
+// MULTILVL admission scheduler, with think time between transactions. It
+// returns the metrics accumulated during this batch only.
+func (r *Run) ExecuteBatch(txs []ocb.Transaction) BatchStats {
+	startReads, startWrites := r.dsk.Reads(), r.dsk.Writes()
+	startHits, startMisses := r.buf.Hits(), r.buf.Misses()
+	startDone, startAborted := r.txDone, r.txAborted
+	startResp := r.respTotal
+	startTime := r.sim.Now()
+	r.respDist.Reset()
+	r.diskRes.ResetStats()
+	r.serverCPU.ResetStats()
+	r.admission.ResetStats()
+
+	next := 0
+	var user func()
+	user = func() {
+		if next >= len(txs) {
+			return
+		}
+		// Automatic triggering (Figure 4): a reorganization demanded by
+		// the Clustering Manager runs when the database is quiescent.
+		if r.activeTx == 0 && r.clusterer.ShouldTrigger() {
+			r.PerformClustering(user)
+			return
+		}
+		tx := &txs[next]
+		next++
+		r.submit(tx, func() {
+			r.after(r.cfg.ThinkTimeMs, user)
+		})
+	}
+	users := r.cfg.Users
+	if users > len(txs) {
+		users = len(txs)
+	}
+	for i := 0; i < users; i++ {
+		r.sim.Schedule(0, user)
+	}
+	if r.failures != nil {
+		r.failures.workRemaining = func() bool {
+			return next < len(txs) || r.activeTx > 0
+		}
+		r.failures.arm()
+	}
+	r.sim.Run()
+	if r.failures != nil {
+		r.failures.disarm()
+	}
+
+	done := r.txDone - startDone
+	elapsed := r.sim.Now() - startTime
+	st := BatchStats{
+		Transactions: done,
+		Aborts:       r.txAborted - startAborted,
+		Reads:        r.dsk.Reads() - startReads,
+		Writes:       r.dsk.Writes() - startWrites,
+		Hits:         r.buf.Hits() - startHits,
+		Misses:       r.buf.Misses() - startMisses,
+		ElapsedMs:    elapsed,
+	}
+	st.IOs = st.Reads + st.Writes
+	if st.Hits+st.Misses > 0 {
+		st.HitRatio = float64(st.Hits) / float64(st.Hits+st.Misses)
+	}
+	if done > 0 {
+		st.MeanRespMs = (r.respTotal - startResp) / float64(done)
+	}
+	if r.respDist.N() > 0 {
+		st.MedianRespMs = r.respDist.Median()
+		st.P95RespMs = r.respDist.At(0.95)
+	}
+	if elapsed > 0 {
+		st.ThroughputTPS = float64(done) * 1000 / elapsed
+	}
+	st.DiskUtilization = r.diskRes.Utilization()
+	st.CPUUtilization = r.serverCPU.Utilization()
+	st.MPLOccupancy = r.admission.Utilization()
+	return st
+}

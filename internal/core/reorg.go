@@ -1,0 +1,98 @@
+package core
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/disk"
+)
+
+// ReorgReport accounts for one reorganization — the paper's "clustering
+// overhead" (Table 6) and cluster statistics (Table 7).
+type ReorgReport struct {
+	Summary cluster.Summary
+	// ReadIOs counts physical reads: old pages of moved objects that were
+	// not buffer-resident, plus the whole-database fixup scan for
+	// physical-OID stores.
+	ReadIOs uint64
+	// WriteIOs counts physical writes: the new cluster pages plus the
+	// pages rewritten by the fixup scan.
+	WriteIOs uint64
+	// ElapsedMs is the simulated duration of the reorganization.
+	ElapsedMs float64
+}
+
+// IOs returns the total overhead I/O count.
+func (r ReorgReport) IOs() uint64 { return r.ReadIOs + r.WriteIOs }
+
+// PerformClustering runs the Clustering Manager's reorganization (Figure
+// 4: "Perform Clustering"): build clusters from the gathered statistics,
+// move them on disk, fix references if the store uses physical OIDs, and
+// drop the now-stale buffer contents. then runs when the database is
+// reorganized. The report is retrievable via LastReorgReport.
+func (r *Run) PerformClustering(then func()) {
+	start := r.sim.Now()
+	startReads, startWrites := r.dsk.Reads(), r.dsk.Writes()
+
+	clusters := r.clusterer.BuildClusters()
+	r.lastSummary = cluster.Summarize(clusters)
+	if len(clusters) == 0 {
+		r.lastReorg = ReorgReport{}
+		then()
+		return
+	}
+
+	// Reads happen against the pre-reorganization buffer state: pages
+	// that are resident need no physical read.
+	st := r.store.Reorganize(clusters)
+	var toRead []disk.PageID
+	for _, p := range st.OldPageList {
+		if !r.buf.Contains(p) {
+			toRead = append(toRead, p)
+		}
+	}
+
+	finish := func() {
+		// Placement changed: every cached page is stale. Dirty pages were
+		// re-written as part of the move, so they are dropped, not
+		// flushed.
+		r.buf.InvalidateAll()
+		r.dsk.ResetHead()
+		r.lastReorg = ReorgReport{
+			Summary:   r.lastSummary,
+			ReadIOs:   r.dsk.Reads() - startReads,
+			WriteIOs:  r.dsk.Writes() - startWrites,
+			ElapsedMs: r.sim.Now() - start,
+		}
+		r.reorgIOs += r.lastReorg.IOs()
+		then()
+	}
+
+	writeNew := func() {
+		r.writePages(st.NewPageList, func() {
+			if st.ScanReads > 0 {
+				// Physical OIDs: sequential scan of the whole old database
+				// plus rewrites of referencing pages.
+				r.use(r.diskRes, func() float64 {
+					return r.dsk.SequentialReadTime(0, st.OldPageCount)
+				}, func() {
+					r.writePages(st.ScanWritePages, finish)
+				})
+				return
+			}
+			finish()
+		})
+	}
+
+	r.readPages(toRead, writeNew)
+}
+
+// readPages reads a list of pages back-to-back, then continues.
+func (r *Run) readPages(pages []disk.PageID, then func()) {
+	if len(pages) == 0 {
+		then()
+		return
+	}
+	r.readPage(pages[0], func() { r.readPages(pages[1:], then) })
+}
+
+// LastReorgReport returns the report of the most recent PerformClustering.
+func (r *Run) LastReorgReport() ReorgReport { return r.lastReorg }

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"repro/internal/buffer"
+	"repro/internal/disk"
+	"repro/internal/lock"
+	"repro/internal/ocb"
+)
+
+// txnExec is the Transaction Manager's per-transaction state machine. Each
+// activity of the knowledge model (acquire lock, extract object, extract
+// pages, access disk, perform treatment related to clustering) is a method
+// or continuation scheduled on the kernel.
+type txnExec struct {
+	r    *Run
+	tx   *ocb.Transaction
+	txid lock.TxID
+
+	opIdx   int
+	pages   []disk.PageID // pages still to fetch for the current op
+	prev    ocb.OID       // previously accessed object (for clustering)
+	submitT float64
+	done    func()
+}
+
+// submit runs tx through admission and execution; done fires at commit.
+func (r *Run) submit(tx *ocb.Transaction, done func()) {
+	e := &txnExec{r: r, tx: tx, submitT: r.sim.Now(), done: done}
+	// The database passive resource schedules transactions according to
+	// the multiprogramming level (Table 1).
+	r.admission.Request(e.begin)
+}
+
+func (e *txnExec) begin() {
+	e.r.activeTx++
+	e.txid = e.r.locks.Begin()
+	e.opIdx = 0
+	e.prev = ocb.NilRef
+	e.nextOp()
+}
+
+// restart aborts after a wait-die death: release everything, pause briefly,
+// and re-run from the first operation.
+func (e *txnExec) restart() {
+	e.r.txAborted++
+	e.r.locks.End(e.txid)
+	e.r.after(1.0, func() {
+		e.txid = e.r.locks.Begin()
+		e.opIdx = 0
+		e.prev = ocb.NilRef
+		e.nextOp()
+	})
+}
+
+func (e *txnExec) nextOp() {
+	if e.opIdx >= len(e.tx.Ops) {
+		e.commit()
+		return
+	}
+	op := e.tx.Ops[e.opIdx]
+	mode := lock.Shared
+	if op.Write {
+		mode = lock.Exclusive
+	}
+	// GETLOCK service time, then the lock table decides.
+	e.r.after(e.r.cfg.GetLockMs, func() {
+		e.r.locks.Acquire(e.txid, lock.Item(op.Object), mode,
+			func() { e.fetchObject(op) },
+			e.restart)
+	})
+}
+
+// fetchObject is the Object Manager: find the page(s) holding the object,
+// then drive the Buffering Manager for each.
+func (e *txnExec) fetchObject(op ocb.Op) {
+	first, span := e.r.store.Pages(op.Object)
+	e.pages = e.pages[:0]
+	for i := 0; i < span; i++ {
+		e.pages = append(e.pages, first+disk.PageID(i))
+	}
+	e.fetchNextPage(op)
+}
+
+func (e *txnExec) fetchNextPage(op ocb.Op) {
+	if len(e.pages) == 0 {
+		e.objectInMemory(op)
+		return
+	}
+	p := e.pages[0]
+	e.pages = e.pages[1:]
+	e.r.accessPage(p, op.Write, func(loaded bool) {
+		cont := func() {
+			// Page server systems ship the page to the client; object
+			// servers ship the object once found (charged in
+			// objectInMemory); centralized and DB servers move nothing.
+			if e.r.cfg.System == PageServer && !e.r.net.IsFree() {
+				e.r.after(e.r.net.TransferTime(e.r.cfg.PageSize), func() { e.fetchNextPage(op) })
+				return
+			}
+			e.fetchNextPage(op)
+		}
+		if loaded && e.r.cfg.ReserveOnLoad {
+			// Texas swizzles the freshly faulted object's pointers,
+			// reserving frames for every page it references.
+			e.r.reserveAll(e.r.store.ObjectRefPages(op.Object), cont)
+			return
+		}
+		cont()
+	})
+}
+
+// objectInMemory is the "Perform Transaction" step on one object: charge
+// the network for object-server shipping, the CPU for object processing,
+// then let the Clustering Manager observe the access.
+func (e *txnExec) objectInMemory(op ocb.Op) {
+	cont := func() {
+		cpu := e.r.serverCPU
+		if e.r.cfg.System == PageServer {
+			cpu = e.r.clientCPU
+		}
+		e.r.use(cpu, func() float64 { return e.r.cfg.ObjectCPUMs }, func() {
+			e.r.clusterer.Observe(op.Object, e.prev, op.Write)
+			e.prev = op.Object
+			e.opIdx++
+			e.nextOp()
+		})
+	}
+	if e.r.cfg.System == ObjectServer && !e.r.net.IsFree() {
+		size := int(e.r.db.Objects[op.Object].Size)
+		e.r.after(e.r.net.TransferTime(size), cont)
+		return
+	}
+	if e.r.cfg.System == DBServer && !e.r.net.IsFree() {
+		// Ship a small per-operation result record.
+		e.r.after(e.r.net.TransferTime(64), cont)
+		return
+	}
+	cont()
+}
+
+func (e *txnExec) commit() {
+	held := e.r.locks.HeldCount(e.txid)
+	e.r.after(float64(held)*e.r.cfg.RelLockMs, func() {
+		e.r.locks.End(e.txid)
+		e.r.clusterer.EndTransaction()
+		e.r.activeTx--
+		e.r.txDone++
+		resp := e.r.sim.Now() - e.submitT
+		e.r.respTotal += resp
+		e.r.respDist.Add(resp)
+		e.r.admission.Release()
+		e.done()
+	})
+}
+
+// accessPage drives the Buffering Manager and I/O Subsystem for one page
+// request; loaded reports whether a physical read happened. Write-backs of
+// dirty victims and Texas-style reservations are charged here.
+func (r *Run) accessPage(p disk.PageID, write bool, then func(loaded bool)) {
+	res := r.buf.Access(p, write)
+	if res.Hit {
+		then(false)
+		return
+	}
+	// Write back dirty victims, read the page, then post-process.
+	r.writeEvictions(res.Evicted, func() {
+		r.readPage(p, func() {
+			if r.cfg.SwizzleDirty {
+				r.buf.MarkDirty(p)
+			}
+			r.afterLoad(p, func() { then(true) })
+		})
+	})
+}
+
+// afterLoad applies the post-miss prefetching policy. (Texas reservations
+// are charged per swizzled object, in the transaction executor.)
+func (r *Run) afterLoad(p disk.PageID, then func()) {
+	cont := then
+	if r.cfg.Prefetch == OneAhead {
+		next := p + 1
+		if int(next) < r.store.NumPages() && !r.buf.Contains(next) && !r.buf.IsReserved(next) {
+			inner := cont
+			cont = func() {
+				res := r.buf.Access(next, false)
+				if res.Hit {
+					inner()
+					return
+				}
+				r.writeEvictions(res.Evicted, func() {
+					r.readPage(next, inner)
+				})
+			}
+		}
+	}
+	cont()
+}
+
+// reserveAll claims frames for the given pages, paying write-backs for any
+// dirty pages the reservations push out (the Texas swap mechanism).
+func (r *Run) reserveAll(pages []disk.PageID, then func()) {
+	if len(pages) == 0 {
+		then()
+		return
+	}
+	res := r.buf.Reserve(pages[0])
+	rest := func() { r.reserveAll(pages[1:], then) }
+	r.writeEvictions(res.Evicted, rest)
+}
+
+// writeEvictions charges a swap-out write for each dirty evicted page.
+func (r *Run) writeEvictions(evs []buffer.Eviction, then func()) {
+	idx := 0
+	var step func()
+	step = func() {
+		for idx < len(evs) && !evs[idx].Dirty {
+			idx++
+		}
+		if idx >= len(evs) {
+			then()
+			return
+		}
+		p := evs[idx].Page
+		idx++
+		r.writePage(p, step)
+	}
+	step()
+}

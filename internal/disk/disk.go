@@ -1,0 +1,128 @@
+// Package disk models the I/O Subsystem of the VOODB knowledge model.
+//
+// The service time of a physical access follows the "Access Disk"
+// functioning rule of Figure 5 in the paper: a request pays search (seek)
+// time + latency time + transfer time, except when the requested page is
+// contiguous to the previously accessed page, in which case only the
+// transfer time is paid (the head is already positioned).
+//
+// Default timings are the Table 3 defaults (7.4 ms search, 4.3 ms latency,
+// 0.5 ms transfer); Table 4 gives the O₂ and Texas values.
+package disk
+
+import "fmt"
+
+// PageID identifies a physical disk page. Pages with consecutive IDs are
+// physically contiguous.
+type PageID int64
+
+// None is the PageID used when no page has been accessed yet.
+const None PageID = -1
+
+// Model computes service times for page accesses and accumulates counters.
+// It is a pure time model: queueing for the disk controller is the caller's
+// concern (a sim.Resource of capacity 1 in the VOODB model).
+type Model struct {
+	SearchTime   float64 // head movement (ms)
+	LatencyTime  float64 // rotational latency (ms)
+	TransferTime float64 // one-page transfer (ms)
+
+	last PageID
+
+	reads      uint64
+	writes     uint64
+	contiguous uint64
+	busy       float64
+}
+
+// New returns a disk model with the given per-phase times in milliseconds.
+// It panics on negative times.
+func New(search, latency, transfer float64) *Model {
+	if search < 0 || latency < 0 || transfer < 0 {
+		panic(fmt.Sprintf("disk: negative service time (%v, %v, %v)", search, latency, transfer))
+	}
+	return &Model{SearchTime: search, LatencyTime: latency, TransferTime: transfer, last: None}
+}
+
+// Default returns a model with the Table 3 default timings.
+func Default() *Model { return New(7.4, 4.3, 0.5) }
+
+// ReadTime returns the service time for reading page p and records the
+// access. Contiguity rule: if p immediately follows the last accessed page,
+// only the transfer time is charged.
+func (m *Model) ReadTime(p PageID) float64 {
+	t := m.accessTime(p)
+	m.reads++
+	m.busy += t
+	return t
+}
+
+// WriteTime returns the service time for writing page p and records the
+// access. Writes obey the same head-position rule as reads.
+func (m *Model) WriteTime(p PageID) float64 {
+	t := m.accessTime(p)
+	m.writes++
+	m.busy += t
+	return t
+}
+
+// SequentialReadTime returns the time to read n consecutive pages starting
+// at p: one positioning plus n transfers. Used by bulk operations such as
+// database scans during reorganization.
+func (m *Model) SequentialReadTime(p PageID, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	t := m.accessTime(p) + float64(n-1)*m.TransferTime
+	m.last = p + PageID(n-1)
+	m.reads += uint64(n)
+	m.contiguous += uint64(n - 1)
+	m.busy += t
+	return t
+}
+
+// SequentialWriteTime is the write counterpart of SequentialReadTime.
+func (m *Model) SequentialWriteTime(p PageID, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	t := m.accessTime(p) + float64(n-1)*m.TransferTime
+	m.last = p + PageID(n-1)
+	m.writes += uint64(n)
+	m.contiguous += uint64(n - 1)
+	m.busy += t
+	return t
+}
+
+func (m *Model) accessTime(p PageID) float64 {
+	contig := m.last != None && p == m.last+1
+	m.last = p
+	if contig {
+		m.contiguous++
+		return m.TransferTime
+	}
+	return m.SearchTime + m.LatencyTime + m.TransferTime
+}
+
+// Reads returns the number of page reads performed.
+func (m *Model) Reads() uint64 { return m.reads }
+
+// Writes returns the number of page writes performed.
+func (m *Model) Writes() uint64 { return m.writes }
+
+// IOs returns reads + writes — the paper's "number of I/Os" metric.
+func (m *Model) IOs() uint64 { return m.reads + m.writes }
+
+// Contiguous returns how many accesses hit the contiguity fast path.
+func (m *Model) Contiguous() uint64 { return m.contiguous }
+
+// BusyTime returns the total service time accumulated (ms).
+func (m *Model) BusyTime() float64 { return m.busy }
+
+// ResetStats clears the counters but keeps the head position.
+func (m *Model) ResetStats() {
+	m.reads, m.writes, m.contiguous, m.busy = 0, 0, 0, 0
+}
+
+// ResetHead forgets the head position (e.g., after unrelated activity).
+func (m *Model) ResetHead() { m.last = None }

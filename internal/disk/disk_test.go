@@ -1,0 +1,133 @@
+package disk
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestRandomAccessPaysFullCost(t *testing.T) {
+	m := New(7.4, 4.3, 0.5)
+	if got := m.ReadTime(10); !almost(got, 12.2) {
+		t.Errorf("first read = %v, want 12.2", got)
+	}
+	if got := m.ReadTime(100); !almost(got, 12.2) {
+		t.Errorf("non-contiguous read = %v, want 12.2", got)
+	}
+}
+
+func TestContiguityRule(t *testing.T) {
+	m := New(7.4, 4.3, 0.5)
+	m.ReadTime(10)
+	if got := m.ReadTime(11); !almost(got, 0.5) {
+		t.Errorf("contiguous read = %v, want transfer only 0.5", got)
+	}
+	if got := m.ReadTime(12); !almost(got, 0.5) {
+		t.Errorf("second contiguous read = %v, want 0.5", got)
+	}
+	// Same page again is NOT contiguous (head passed it).
+	if got := m.ReadTime(12); !almost(got, 12.2) {
+		t.Errorf("same page re-read = %v, want 12.2", got)
+	}
+	// Backwards is not contiguous.
+	m.ReadTime(5)
+	if got := m.ReadTime(4); !almost(got, 12.2) {
+		t.Errorf("backward read = %v, want 12.2", got)
+	}
+	if m.Contiguous() != 2 {
+		t.Errorf("contiguous count = %d, want 2", m.Contiguous())
+	}
+}
+
+func TestWritesCountedSeparately(t *testing.T) {
+	m := Default()
+	m.ReadTime(1)
+	m.WriteTime(2) // contiguous with the read
+	m.WriteTime(9)
+	if m.Reads() != 1 || m.Writes() != 2 || m.IOs() != 3 {
+		t.Errorf("reads/writes/IOs = %d/%d/%d", m.Reads(), m.Writes(), m.IOs())
+	}
+}
+
+func TestSequentialRead(t *testing.T) {
+	m := New(7.4, 4.3, 0.5)
+	got := m.SequentialReadTime(100, 10)
+	want := 12.2 + 9*0.5
+	if !almost(got, want) {
+		t.Errorf("sequential read of 10 = %v, want %v", got, want)
+	}
+	if m.Reads() != 10 {
+		t.Errorf("reads = %d, want 10", m.Reads())
+	}
+	// Head is now after page 109; 110 is contiguous.
+	if got := m.ReadTime(110); !almost(got, 0.5) {
+		t.Errorf("read after sequential = %v, want 0.5", got)
+	}
+	if m.SequentialReadTime(5, 0) != 0 {
+		t.Error("zero-length sequential read should cost 0")
+	}
+}
+
+func TestSequentialWrite(t *testing.T) {
+	m := New(1, 1, 0.25)
+	got := m.SequentialWriteTime(0, 4)
+	if !almost(got, 2.25+3*0.25) {
+		t.Errorf("sequential write = %v", got)
+	}
+	if m.Writes() != 4 {
+		t.Errorf("writes = %d, want 4", m.Writes())
+	}
+}
+
+func TestBusyTimeAccumulates(t *testing.T) {
+	m := New(1, 1, 1)
+	m.ReadTime(0)
+	m.ReadTime(1)
+	if !almost(m.BusyTime(), 3+1) {
+		t.Errorf("busy = %v, want 4", m.BusyTime())
+	}
+	m.ResetStats()
+	if m.BusyTime() != 0 || m.IOs() != 0 {
+		t.Error("ResetStats did not clear counters")
+	}
+	// Head position survives reset.
+	if got := m.ReadTime(2); !almost(got, 1) {
+		t.Errorf("head lost after ResetStats: %v", got)
+	}
+	m.ResetHead()
+	if got := m.ReadTime(3); !almost(got, 3) {
+		t.Errorf("head not forgotten after ResetHead: %v", got)
+	}
+}
+
+func TestNegativeTimesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for negative time")
+		}
+	}()
+	New(-1, 0, 0)
+}
+
+// Property: any read costs either the full time or the transfer time, and
+// the contiguous discount only ever applies to page last+1.
+func TestPropertyAccessCost(t *testing.T) {
+	m := New(2, 3, 0.5)
+	full, transfer := 5.5, 0.5
+	prev := None
+	f := func(raw uint16) bool {
+		p := PageID(raw % 64)
+		got := m.ReadTime(p)
+		wantContig := prev != None && p == prev+1
+		prev = p
+		if wantContig {
+			return almost(got, transfer)
+		}
+		return almost(got, full)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,301 @@
+// Package experiments defines one runnable reproduction per table and
+// figure of the paper's evaluation section (§4). cmd/experiments, the
+// benchmark harness and EXPERIMENTS.md all consume these definitions, so
+// the same code regenerates every published result.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ocb"
+	"repro/internal/paper"
+	"repro/internal/stats"
+	"repro/internal/systems"
+)
+
+// Point is one x position of a reproduced figure.
+type Point struct {
+	X      int
+	IOs    stats.Interval
+	HitPct float64
+}
+
+// Figure is a reproduced figure: our simulated curve next to the paper's
+// published (digitized) curves.
+type Figure struct {
+	ID       string
+	Title    string
+	XLabel   string
+	Points   []Point
+	Paper    paper.Series
+	Warnings []string
+}
+
+// SimValues returns our simulated means in x order.
+func (f *Figure) SimValues() []float64 {
+	out := make([]float64, len(f.Points))
+	for i, p := range f.Points {
+		out[i] = p.IOs.Mean
+	}
+	return out
+}
+
+// TableRow is one row of a reproduced table.
+type TableRow struct {
+	Name       string
+	PaperBench float64
+	PaperSim   float64
+	Ours       stats.Interval
+	OursAlt    stats.Interval // second mode where applicable (e.g. logical OIDs)
+	HasAlt     bool
+}
+
+// TableResult is a reproduced table.
+type TableResult struct {
+	ID      string
+	Title   string
+	AltName string // meaning of OursAlt (empty if unused)
+	Rows    []TableRow
+}
+
+// Options control a reproduction run.
+type Options struct {
+	// Replications per point (the paper used 100).
+	Replications int
+	// Seed anchors all random streams.
+	Seed uint64
+	// Progress, when non-nil, receives one line per completed point.
+	Progress func(string)
+}
+
+func (o Options) reps() int {
+	if o.Replications < 1 {
+		return 10
+	}
+	return o.Replications
+}
+
+func (o Options) progress(format string, args ...interface{}) {
+	if o.Progress != nil {
+		o.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// table5Params returns the §4.3 workload: OCB defaults with the Table 5
+// transaction mix and the given schema/instance sizing.
+func table5Params(nc, no int) ocb.Params {
+	p := ocb.DefaultParams()
+	p.NC = nc
+	p.NO = no
+	return p
+}
+
+// instanceSweep reproduces a Figures 6/7/9/10-style sweep over NO.
+func instanceSweep(id, title string, cfg core.Config, nc int, ref paper.Series, o Options) (*Figure, error) {
+	f := &Figure{ID: id, Title: title, XLabel: "instances", Paper: ref}
+	for _, no := range paper.InstanceCounts {
+		e := core.Experiment{
+			Config:       cfg,
+			Params:       table5Params(nc, no),
+			Seed:         o.Seed + uint64(no),
+			Replications: o.reps(),
+		}
+		res, err := e.Run()
+		if err != nil {
+			return nil, fmt.Errorf("%s at NO=%d: %w", id, no, err)
+		}
+		ci := res.IOsCI()
+		f.Points = append(f.Points, Point{X: no, IOs: ci, HitPct: res.HitRatio.Mean() * 100})
+		o.progress("%s NO=%d: %s", id, no, ci)
+	}
+	return f, nil
+}
+
+// memorySweep reproduces a Figures 8/11-style sweep over memory size.
+func memorySweep(id, title string, mkCfg func(mb int) core.Config, ref paper.Series, o Options) (*Figure, error) {
+	f := &Figure{ID: id, Title: title, XLabel: "MB", Paper: ref}
+	for _, mb := range paper.MemorySizesMB {
+		e := core.Experiment{
+			Config:       mkCfg(mb),
+			Params:       table5Params(50, 20000),
+			Seed:         o.Seed + uint64(mb),
+			Replications: o.reps(),
+		}
+		res, err := e.Run()
+		if err != nil {
+			return nil, fmt.Errorf("%s at %d MB: %w", id, mb, err)
+		}
+		ci := res.IOsCI()
+		f.Points = append(f.Points, Point{X: mb, IOs: ci, HitPct: res.HitRatio.Mean() * 100})
+		o.progress("%s mem=%dMB: %s", id, mb, ci)
+	}
+	return f, nil
+}
+
+// Fig6 reproduces Figure 6: O₂, I/Os vs database size, 20 classes.
+func Fig6(o Options) (*Figure, error) {
+	return instanceSweep("fig6", "Mean number of I/Os vs instances (O2, 20 classes)",
+		systems.O2(), 20, paper.Fig6, o)
+}
+
+// Fig7 reproduces Figure 7: O₂, I/Os vs database size, 50 classes.
+func Fig7(o Options) (*Figure, error) {
+	return instanceSweep("fig7", "Mean number of I/Os vs instances (O2, 50 classes)",
+		systems.O2(), 50, paper.Fig7, o)
+}
+
+// Fig8 reproduces Figure 8: O₂, I/Os vs server cache size.
+func Fig8(o Options) (*Figure, error) {
+	return memorySweep("fig8", "Mean number of I/Os vs cache size (O2)",
+		systems.O2WithCache, paper.Fig8, o)
+}
+
+// Fig9 reproduces Figure 9: Texas, I/Os vs database size, 20 classes.
+func Fig9(o Options) (*Figure, error) {
+	return instanceSweep("fig9", "Mean number of I/Os vs instances (Texas, 20 classes)",
+		systems.Texas(), 20, paper.Fig9, o)
+}
+
+// Fig10 reproduces Figure 10: Texas, I/Os vs database size, 50 classes.
+func Fig10(o Options) (*Figure, error) {
+	return instanceSweep("fig10", "Mean number of I/Os vs instances (Texas, 50 classes)",
+		systems.Texas(), 50, paper.Fig10, o)
+}
+
+// Fig11 reproduces Figure 11: Texas, I/Os vs available memory.
+func Fig11(o Options) (*Figure, error) {
+	return memorySweep("fig11", "Mean number of I/Os vs memory size (Texas)",
+		systems.TexasWithMemory, paper.Fig11, o)
+}
+
+// runDSTC executes the §4.4 protocol for one configuration.
+func runDSTC(cfg core.Config, memMB int, o Options) (*core.DSTCResult, error) {
+	if memMB > 0 {
+		cfg.BufferPages = systems.TexasWithMemory(memMB).BufferPages
+	}
+	e := core.DSTCExperiment{
+		Config:       cfg,
+		Params:       ocb.DSTCExperimentParams(),
+		Transactions: 1000,
+		Depth:        3,
+		Seed:         o.Seed,
+		Replications: o.reps(),
+	}
+	return e.Run()
+}
+
+// Table6 reproduces Table 6: DSTC on the mid-size base, with the paper's
+// benchmark column matched by our physical-OID mode and its simulation
+// column by our logical-OID mode.
+func Table6(o Options) (*TableResult, error) {
+	phys, err := runDSTC(systems.TexasDSTC(), 64, o)
+	if err != nil {
+		return nil, err
+	}
+	o.progress("table6 physical done")
+	logical, err := runDSTC(systems.TexasLogicalOIDs(), 64, o)
+	if err != nil {
+		return nil, err
+	}
+	o.progress("table6 logical done")
+	conf := 0.95
+	t := &TableResult{
+		ID:      "table6",
+		Title:   "Effects of DSTC (mean number of I/Os) – mid-sized base",
+		AltName: "ours (logical OIDs)",
+	}
+	row := func(name string, bench, sim float64, p, l *stats.Sample) {
+		t.Rows = append(t.Rows, TableRow{
+			Name: name, PaperBench: bench, PaperSim: sim,
+			Ours:    stats.ConfidenceInterval(p, conf),
+			OursAlt: stats.ConfidenceInterval(l, conf),
+			HasAlt:  true,
+		})
+	}
+	row("Pre-clustering usage", paper.Table6[0].Benchmark, paper.Table6[0].Simulated, &phys.PreIOs, &logical.PreIOs)
+	row("Clustering overhead", paper.Table6[1].Benchmark, paper.Table6[1].Simulated, &phys.OverheadIOs, &logical.OverheadIOs)
+	row("Post-clustering usage", paper.Table6[2].Benchmark, paper.Table6[2].Simulated, &phys.PostIOs, &logical.PostIOs)
+	row("Gain", paper.Table6[3].Benchmark, paper.Table6[3].Simulated, &phys.Gain, &logical.Gain)
+	return t, nil
+}
+
+// Table7 reproduces Table 7: DSTC cluster statistics.
+func Table7(o Options) (*TableResult, error) {
+	res, err := runDSTC(systems.TexasDSTC(), 64, o)
+	if err != nil {
+		return nil, err
+	}
+	o.progress("table7 done")
+	t := &TableResult{ID: "table7", Title: "DSTC clustering statistics"}
+	t.Rows = append(t.Rows, TableRow{
+		Name:       "Mean number of clusters",
+		PaperBench: paper.Table7[0].Benchmark, PaperSim: paper.Table7[0].Simulated,
+		Ours: stats.ConfidenceInterval(&res.Clusters, 0.95),
+	})
+	t.Rows = append(t.Rows, TableRow{
+		Name:       "Mean number of obj./cluster",
+		PaperBench: paper.Table7[1].Benchmark, PaperSim: paper.Table7[1].Simulated,
+		Ours: stats.ConfidenceInterval(&res.ObjPerClus, 0.95),
+	})
+	return t, nil
+}
+
+// Table8 reproduces Table 8: DSTC on the "large" base (8 MB of memory).
+func Table8(o Options) (*TableResult, error) {
+	res, err := runDSTC(systems.TexasDSTC(), 8, o)
+	if err != nil {
+		return nil, err
+	}
+	o.progress("table8 done")
+	t := &TableResult{ID: "table8", Title: "Effects of DSTC – 'large' base (8 MB memory)"}
+	add := func(name string, bench, sim float64, s *stats.Sample) {
+		t.Rows = append(t.Rows, TableRow{
+			Name: name, PaperBench: bench, PaperSim: sim,
+			Ours: stats.ConfidenceInterval(s, 0.95),
+		})
+	}
+	add("Pre-clustering usage", paper.Table8[0].Benchmark, paper.Table8[0].Simulated, &res.PreIOs)
+	add("Post-clustering usage", paper.Table8[1].Benchmark, paper.Table8[1].Simulated, &res.PostIOs)
+	add("Gain", paper.Table8[2].Benchmark, paper.Table8[2].Simulated, &res.Gain)
+	return t, nil
+}
+
+// Names lists every experiment id in paper order.
+func Names() []string {
+	return []string{"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table6", "table7", "table8"}
+}
+
+// RunFigure dispatches a figure by id (fig6…fig11).
+func RunFigure(id string, o Options) (*Figure, error) {
+	switch id {
+	case "fig6":
+		return Fig6(o)
+	case "fig7":
+		return Fig7(o)
+	case "fig8":
+		return Fig8(o)
+	case "fig9":
+		return Fig9(o)
+	case "fig10":
+		return Fig10(o)
+	case "fig11":
+		return Fig11(o)
+	default:
+		return nil, fmt.Errorf("experiments: unknown figure %q", id)
+	}
+}
+
+// RunTable dispatches a table by id (table6…table8).
+func RunTable(id string, o Options) (*TableResult, error) {
+	switch id {
+	case "table6":
+		return Table6(o)
+	case "table7":
+		return Table7(o)
+	case "table8":
+		return Table8(o)
+	default:
+		return nil, fmt.Errorf("experiments: unknown table %q", id)
+	}
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNamesCoverEveryTableAndFigure(t *testing.T) {
+	names := Names()
+	want := []string{"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table6", "table7", "table8"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("names[%d] = %s, want %s", i, names[i], n)
+		}
+	}
+}
+
+func TestDispatchErrors(t *testing.T) {
+	if _, err := RunFigure("fig99", Options{}); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if _, err := RunTable("table99", Options{}); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := RunFigure("table6", Options{}); err == nil {
+		t.Error("table id accepted as figure")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	if (Options{}).reps() != 10 {
+		t.Error("default replications wrong")
+	}
+	if (Options{Replications: 3}).reps() != 3 {
+		t.Error("explicit replications ignored")
+	}
+	var lines []string
+	o := Options{Progress: func(s string) { lines = append(lines, s) }}
+	o.progress("point %d", 7)
+	if len(lines) != 1 || !strings.Contains(lines[0], "point 7") {
+		t.Errorf("progress lines = %v", lines)
+	}
+	// nil Progress must not panic.
+	(Options{}).progress("x")
+}
+
+// TestTable7EndToEnd runs the cheapest full experiment once; the heavier
+// ones are exercised by cmd/experiments and the benchmarks.
+func TestTable7EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment skipped in -short mode")
+	}
+	tbl, err := Table7(Options{Replications: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ID != "table7" || len(tbl.Rows) != 2 {
+		t.Fatalf("table: %+v", tbl)
+	}
+	clusters := tbl.Rows[0].Ours.Mean
+	objPer := tbl.Rows[1].Ours.Mean
+	if clusters < 40 || clusters > 200 {
+		t.Errorf("clusters = %v, want Table 7 ballpark (≈ 82)", clusters)
+	}
+	if objPer < 6 || objPer > 26 {
+		t.Errorf("objects/cluster = %v, want ≈ 13", objPer)
+	}
+	if tbl.Rows[0].PaperBench != 82.23 {
+		t.Error("paper reference lost")
+	}
+}

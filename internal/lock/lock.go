@@ -1,0 +1,272 @@
+// Package lock implements the Transaction Manager's concurrency-control
+// substrate: a strict two-phase lock table with shared/exclusive modes,
+// FIFO queuing, and wait-die deadlock prevention.
+//
+// The VOODB model charges fixed service times for acquisition and release
+// (Table 3 GETLOCK/RELLOCK); this package provides the logical behaviour —
+// who waits, who is granted, who must abort — while the core model turns
+// those outcomes into simulated time. The paper's validation workloads are
+// read-only, so conflicts never arise there, but the substrate is complete
+// so that write mixes and MULTILVL > 1 behave correctly.
+package lock
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+const (
+	// Shared locks are compatible with other shared locks.
+	Shared Mode = iota
+	// Exclusive locks conflict with everything.
+	Exclusive
+)
+
+// String returns "S" or "X".
+func (m Mode) String() string {
+	if m == Exclusive {
+		return "X"
+	}
+	return "S"
+}
+
+// TxID identifies a transaction within the lock manager. Lower IDs are
+// older (wait-die uses begin order as the timestamp).
+type TxID int64
+
+// Item is a lockable unit (the VOODB model locks objects by OID).
+type Item int64
+
+type request struct {
+	tx      TxID
+	mode    Mode
+	granted func()
+	died    func()
+}
+
+type entry struct {
+	holders map[TxID]Mode
+	queue   []request
+}
+
+// Manager is the lock table.
+type Manager struct {
+	nextTx TxID
+	table  map[Item]*entry
+	held   map[TxID]map[Item]Mode
+
+	acquisitions uint64
+	waits        uint64
+	deaths       uint64
+}
+
+// NewManager returns an empty lock table.
+func NewManager() *Manager {
+	return &Manager{
+		table: make(map[Item]*entry),
+		held:  make(map[TxID]map[Item]Mode),
+	}
+}
+
+// Begin registers a new transaction and returns its ID; IDs are assigned in
+// begin order and double as wait-die timestamps.
+func (m *Manager) Begin() TxID {
+	m.nextTx++
+	tx := m.nextTx
+	m.held[tx] = make(map[Item]Mode)
+	return tx
+}
+
+// Holds returns the mode tx holds on item, and whether it holds it at all.
+func (m *Manager) Holds(tx TxID, item Item) (Mode, bool) {
+	mode, ok := m.held[tx][item]
+	return mode, ok
+}
+
+// HeldCount returns the number of items tx currently holds.
+func (m *Manager) HeldCount(tx TxID) int { return len(m.held[tx]) }
+
+// Acquire requests item in the given mode for tx. Exactly one of granted or
+// died is invoked — possibly immediately (before Acquire returns), or later
+// when a conflicting holder releases. died means the transaction lost a
+// wait-die conflict and must abort (release everything and retry).
+func (m *Manager) Acquire(tx TxID, item Item, mode Mode, granted, died func()) {
+	if granted == nil || died == nil {
+		panic("lock: Acquire with nil callback")
+	}
+	if _, ok := m.held[tx]; !ok {
+		panic(fmt.Sprintf("lock: Acquire by unknown transaction %d", tx))
+	}
+	e := m.table[item]
+	if e == nil {
+		e = &entry{holders: make(map[TxID]Mode)}
+		m.table[item] = e
+	}
+
+	// Re-entrant cases.
+	if have, ok := e.holders[tx]; ok {
+		if have == Exclusive || mode == Shared {
+			m.acquisitions++
+			granted()
+			return
+		}
+		// Upgrade S → X: immediate if sole holder.
+		if len(e.holders) == 1 {
+			e.holders[tx] = Exclusive
+			m.held[tx][item] = Exclusive
+			m.acquisitions++
+			granted()
+			return
+		}
+		// Conflicting upgrade: wait-die against the other holders and the
+		// queue.
+		if m.youngerThanAnyBlocker(e, tx, Exclusive) {
+			m.deaths++
+			died()
+			return
+		}
+		m.waits++
+		e.queue = append(e.queue, request{tx: tx, mode: Exclusive, granted: granted, died: died})
+		return
+	}
+
+	if m.compatible(e, tx, mode) && len(e.queue) == 0 {
+		e.holders[tx] = mode
+		m.held[tx][item] = mode
+		m.acquisitions++
+		granted()
+		return
+	}
+	// Wait-die: a transaction younger than anyone it would wait behind —
+	// current holders AND conflicting queued requesters (FIFO queuing
+	// makes those blockers too; checking holders alone admits wait cycles
+	// through the queue) — dies.
+	if m.youngerThanAnyBlocker(e, tx, mode) {
+		m.deaths++
+		died()
+		return
+	}
+	m.waits++
+	e.queue = append(e.queue, request{tx: tx, mode: mode, granted: granted, died: died})
+}
+
+// compatible reports whether tx may take item in mode alongside the current
+// holders.
+func (m *Manager) compatible(e *entry, tx TxID, mode Mode) bool {
+	if len(e.holders) == 0 {
+		return true
+	}
+	if mode == Exclusive {
+		return false
+	}
+	for _, hm := range e.holders {
+		if hm == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// youngerThanAnyBlocker reports whether tx began after at least one
+// transaction it would wait behind: a current holder, or a queued
+// requester whose mode conflicts with the new request (compatible shared
+// requests are granted as a batch and never block each other). Waiting is
+// only permitted behind strictly younger transactions, which makes every
+// wait-for edge point old→young and rules out cycles — the wait-die
+// guarantee, extended to FIFO queues.
+func (m *Manager) youngerThanAnyBlocker(e *entry, tx TxID, mode Mode) bool {
+	for holder := range e.holders {
+		if holder != tx && holder < tx {
+			return true
+		}
+	}
+	for _, r := range e.queue {
+		if r.tx == tx || r.tx >= tx {
+			continue
+		}
+		if mode == Exclusive || r.mode == Exclusive {
+			return true
+		}
+	}
+	return false
+}
+
+// ReleaseAll drops every lock tx holds (strict 2PL commit/abort) and grants
+// whatever queued requests become compatible, in FIFO order per item.
+// Items are released in sorted order so the dispatch sequence — and hence
+// the whole simulation — is deterministic.
+func (m *Manager) ReleaseAll(tx TxID) {
+	held := m.held[tx]
+	items := make([]Item, 0, len(held))
+	for item := range held {
+		items = append(items, item)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	for _, item := range items {
+		e := m.table[item]
+		delete(e.holders, tx)
+		m.dispatch(item, e)
+	}
+	m.held[tx] = make(map[Item]Mode)
+}
+
+// End forgets a finished transaction entirely. Any locks still held are
+// released first; queued requests from tx are abandoned (they would never
+// be answered otherwise).
+func (m *Manager) End(tx TxID) {
+	m.ReleaseAll(tx)
+	delete(m.held, tx)
+	for item, e := range m.table {
+		filtered := e.queue[:0]
+		for _, r := range e.queue {
+			if r.tx != tx {
+				filtered = append(filtered, r)
+			}
+		}
+		e.queue = filtered
+		if len(e.holders) == 0 && len(e.queue) == 0 {
+			delete(m.table, item)
+		}
+	}
+}
+
+// dispatch grants queued compatible requests at the head of item's queue.
+func (m *Manager) dispatch(item Item, e *entry) {
+	for len(e.queue) > 0 {
+		head := e.queue[0]
+		if !m.compatible(e, head.tx, head.mode) {
+			// An upgrade request whose owner is now the sole holder can
+			// proceed even though "compatible" says no.
+			if have, ok := e.holders[head.tx]; ok && have == Shared &&
+				head.mode == Exclusive && len(e.holders) == 1 {
+				e.queue = e.queue[1:]
+				e.holders[head.tx] = Exclusive
+				m.held[head.tx][item] = Exclusive
+				m.acquisitions++
+				head.granted()
+				continue
+			}
+			return
+		}
+		e.queue = e.queue[1:]
+		e.holders[head.tx] = head.mode
+		m.held[head.tx][item] = head.mode
+		m.acquisitions++
+		head.granted()
+	}
+	if len(e.holders) == 0 && len(e.queue) == 0 {
+		delete(m.table, item)
+	}
+}
+
+// Acquisitions returns the number of granted requests.
+func (m *Manager) Acquisitions() uint64 { return m.acquisitions }
+
+// Waits returns the number of requests that had to queue.
+func (m *Manager) Waits() uint64 { return m.waits }
+
+// Deaths returns the number of wait-die aborts.
+func (m *Manager) Deaths() uint64 { return m.deaths }

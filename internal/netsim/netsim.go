@@ -1,0 +1,74 @@
+// Package netsim models the client–server network of the VOODB model.
+//
+// Table 3 parameterizes the network with a single throughput figure
+// (NETTHRU, default 1 MB/s). Transfer time for a message is
+// size/throughput plus a fixed per-message latency. A throughput of +Inf
+// (used by the paper's O₂ configuration, Table 4) makes transfers free,
+// modelling a client co-located with the server.
+package netsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model converts message sizes to transmission times.
+type Model struct {
+	ThroughputMBps float64 // MB per second; +Inf = free
+	LatencyMs      float64 // fixed per-message cost (ms)
+
+	messages uint64
+	bytes    uint64
+	busy     float64
+}
+
+// New returns a network model. It panics if throughput ≤ 0 (use +Inf for a
+// free network) or latency < 0.
+func New(throughputMBps, latencyMs float64) *Model {
+	if throughputMBps <= 0 || math.IsNaN(throughputMBps) {
+		panic(fmt.Sprintf("netsim: invalid throughput %v", throughputMBps))
+	}
+	if latencyMs < 0 {
+		panic(fmt.Sprintf("netsim: negative latency %v", latencyMs))
+	}
+	return &Model{ThroughputMBps: throughputMBps, LatencyMs: latencyMs}
+}
+
+// Free returns a model with infinite throughput and no latency.
+func Free() *Model { return New(math.Inf(1), 0) }
+
+// IsFree reports whether transfers cost no simulated time.
+func (m *Model) IsFree() bool {
+	return math.IsInf(m.ThroughputMBps, 1) && m.LatencyMs == 0
+}
+
+// TransferTime returns the time (ms) to move a message of size bytes and
+// records it. It panics on negative size.
+func (m *Model) TransferTime(size int) float64 {
+	if size < 0 {
+		panic(fmt.Sprintf("netsim: negative message size %d", size))
+	}
+	m.messages++
+	m.bytes += uint64(size)
+	var t float64
+	if !math.IsInf(m.ThroughputMBps, 1) {
+		// MB/s → bytes/ms = throughput · 1e6 / 1e3.
+		bytesPerMs := m.ThroughputMBps * 1000
+		t = float64(size) / bytesPerMs
+	}
+	t += m.LatencyMs
+	m.busy += t
+	return t
+}
+
+// Messages returns the number of transfers recorded.
+func (m *Model) Messages() uint64 { return m.messages }
+
+// Bytes returns the total bytes transferred.
+func (m *Model) Bytes() uint64 { return m.bytes }
+
+// BusyTime returns the accumulated transfer time (ms).
+func (m *Model) BusyTime() float64 { return m.busy }
+
+// ResetStats clears the counters.
+func (m *Model) ResetStats() { m.messages, m.bytes, m.busy = 0, 0, 0 }

@@ -1,0 +1,69 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTransferTime(t *testing.T) {
+	m := New(1, 0) // 1 MB/s = 1000 bytes/ms
+	if got := m.TransferTime(4096); math.Abs(got-4.096) > 1e-9 {
+		t.Errorf("4 KB at 1 MB/s = %v ms, want 4.096", got)
+	}
+	if got := m.TransferTime(0); got != 0 {
+		t.Errorf("empty message = %v, want 0", got)
+	}
+}
+
+func TestLatencyAdds(t *testing.T) {
+	m := New(1, 0.5)
+	if got := m.TransferTime(1000); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("1000B+latency = %v, want 1.5", got)
+	}
+}
+
+func TestFreeNetwork(t *testing.T) {
+	m := Free()
+	if !m.IsFree() {
+		t.Fatal("Free() not free")
+	}
+	if got := m.TransferTime(1 << 30); got != 0 {
+		t.Errorf("free transfer = %v, want 0", got)
+	}
+	if m.Messages() != 1 || m.Bytes() != 1<<30 {
+		t.Error("free transfers must still be counted")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	m := New(2, 0)
+	m.TransferTime(100)
+	m.TransferTime(300)
+	if m.Messages() != 2 || m.Bytes() != 400 {
+		t.Errorf("messages/bytes = %d/%d", m.Messages(), m.Bytes())
+	}
+	if math.Abs(m.BusyTime()-0.2) > 1e-9 {
+		t.Errorf("busy = %v, want 0.2", m.BusyTime())
+	}
+	m.ResetStats()
+	if m.Messages() != 0 || m.Bytes() != 0 || m.BusyTime() != 0 {
+		t.Error("ResetStats did not clear")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero throughput": func() { New(0, 0) },
+		"neg latency":     func() { New(1, -1) },
+		"neg size":        func() { New(1, 0).TransferTime(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,290 @@
+package ocb
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// OID identifies an object instance; OIDs are dense in [0, NO).
+// These are the *logical* identifiers of the object graph — the storage
+// layer decides whether the modelled system exposes them logically or
+// physically (the Table 6 distinction).
+type OID int32
+
+// ClassRef is one reference declared by a class.
+type ClassRef struct {
+	Target int   // target class index
+	Type   uint8 // reference type in [0, NRefT); 0 = hierarchy
+}
+
+// Class is a schema class.
+type Class struct {
+	ID           int
+	InstanceSize int // bytes per instance
+	Refs         []ClassRef
+}
+
+// Object is one instance in the object base.
+type Object struct {
+	Class int32
+	Size  int32
+	// Refs holds the target OID for each of the class's references, in
+	// declaration order. A reference may be NilRef when the target class
+	// had no instance available.
+	Refs []OID
+}
+
+// NilRef marks an unresolvable object reference.
+const NilRef OID = -1
+
+// Database is a generated OCB object base.
+type Database struct {
+	Params  Params
+	Classes []Class
+	Objects []Object
+	// ByClass lists the OIDs of each class's instances in creation order.
+	ByClass [][]OID
+	// HotRoots is the fixed root population when Params.HotRootCount > 0
+	// (nil otherwise). It is part of the database — derived from the
+	// database seed — so every workload drawn over this base shares it.
+	HotRoots []OID
+}
+
+// Generate builds a random object base from p, deterministically for a
+// given seed. It returns an error if p is invalid.
+func Generate(p Params, seed uint64) (*Database, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	classSrc := rng.NewStream(seed, 1)
+	objSrc := rng.NewStream(seed, 2)
+	refSrc := rng.NewStream(seed, 3)
+
+	db := &Database{Params: p}
+
+	// --- schema ---
+	db.Classes = make([]Class, p.NC)
+	var classZipf *rng.Zipf
+	if p.ClassRefDist == Zipf {
+		classZipf = rng.NewZipf(classSrc, p.NC, p.ZipfTheta)
+	}
+	for i := range db.Classes {
+		c := Class{
+			ID:           i,
+			InstanceSize: p.BaseSize * classSrc.IntRange(1, p.SizeMult),
+		}
+		nrefs := classSrc.IntRange(1, p.MaxNRef)
+		c.Refs = make([]ClassRef, nrefs)
+		for r := range c.Refs {
+			c.Refs[r] = ClassRef{
+				Target: pickClass(classSrc, classZipf, p, i),
+				Type:   pickRefType(classSrc, p),
+			}
+		}
+		db.Classes[i] = c
+	}
+
+	// --- instances ---
+	db.Objects = make([]Object, p.NO)
+	db.ByClass = make([][]OID, p.NC)
+	var objClassZipf *rng.Zipf
+	if p.ObjClassDist == Zipf {
+		objClassZipf = rng.NewZipf(objSrc, p.NC, p.ZipfTheta)
+	}
+	for o := 0; o < p.NO; o++ {
+		var cls int
+		if o < p.NC {
+			cls = o // guarantee every class at least one instance
+		} else if objClassZipf != nil {
+			cls = objClassZipf.Next()
+		} else {
+			cls = objSrc.Intn(p.NC)
+		}
+		db.Objects[o] = Object{
+			Class: int32(cls),
+			Size:  int32(db.Classes[cls].InstanceSize),
+		}
+		db.ByClass[cls] = append(db.ByClass[cls], OID(o))
+	}
+
+	// --- hot root population ---
+	if p.HotRootCount > 0 {
+		hotSrc := rng.NewStream(seed, 4)
+		perm := hotSrc.Perm(p.NO)
+		db.HotRoots = make([]OID, p.HotRootCount)
+		for i := range db.HotRoots {
+			db.HotRoots[i] = OID(perm[i])
+		}
+	}
+
+	// --- object references ---
+	for o := range db.Objects {
+		obj := &db.Objects[o]
+		refs := db.Classes[obj.Class].Refs
+		obj.Refs = make([]OID, len(refs))
+		myRank := rankWithin(db.ByClass[obj.Class], OID(o))
+		for r, cr := range refs {
+			obj.Refs[r] = pickInstance(refSrc, p, db.ByClass[cr.Target], myRank, OID(o))
+		}
+	}
+	return db, nil
+}
+
+// pickRefType draws a reference type, biasing type 0 (hierarchy) when
+// TypeZeroBias is set.
+func pickRefType(src *rng.Source, p Params) uint8 {
+	if p.TypeZeroBias > 0 {
+		if src.Bernoulli(p.TypeZeroBias) {
+			return 0
+		}
+		if p.NRefT == 1 {
+			return 0
+		}
+		return uint8(1 + src.Intn(p.NRefT-1))
+	}
+	return uint8(src.Intn(p.NRefT))
+}
+
+// pickClass selects a reference target class for class i, honouring the
+// configured distribution and class locality.
+func pickClass(src *rng.Source, zipf *rng.Zipf, p Params, i int) int {
+	if p.ClassLocality < p.NC {
+		lo := i - p.ClassLocality
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + p.ClassLocality
+		if hi > p.NC-1 {
+			hi = p.NC - 1
+		}
+		return src.IntRange(lo, hi)
+	}
+	if zipf != nil {
+		return zipf.Next()
+	}
+	return src.Intn(p.NC)
+}
+
+// pickInstance selects a target instance among candidates, honouring object
+// locality (rank distance within the target class) and avoiding direct
+// self-reference when possible.
+func pickInstance(src *rng.Source, p Params, candidates []OID, myRank int, self OID) OID {
+	if len(candidates) == 0 {
+		return NilRef
+	}
+	pick := func() OID {
+		if p.ObjectLocality < len(candidates) {
+			// Center the window on the requester's rank, projected into
+			// the target class's rank range (classes differ in size).
+			center := myRank
+			if center > len(candidates)-1 {
+				center = len(candidates) - 1
+			}
+			lo := center - p.ObjectLocality
+			if lo < 0 {
+				lo = 0
+			}
+			hi := center + p.ObjectLocality
+			if hi > len(candidates)-1 {
+				hi = len(candidates) - 1
+			}
+			return candidates[src.IntRange(lo, hi)]
+		}
+		return candidates[src.Intn(len(candidates))]
+	}
+	t := pick()
+	for retry := 0; t == self && retry < 4; retry++ {
+		t = pick()
+	}
+	if t == self && len(candidates) == 1 {
+		return NilRef
+	}
+	return t
+}
+
+func rankWithin(list []OID, o OID) int {
+	// Instances are appended in OID order, so binary search applies.
+	lo, hi := 0, len(list)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		switch {
+		case list[mid] == o:
+			return mid
+		case list[mid] < o:
+			lo = mid + 1
+		default:
+			hi = mid - 1
+		}
+	}
+	return 0
+}
+
+// TotalBytes returns the sum of all instance sizes (the logical base size,
+// before any storage overhead).
+func (db *Database) TotalBytes() int64 {
+	var total int64
+	for i := range db.Objects {
+		total += int64(db.Objects[i].Size)
+	}
+	return total
+}
+
+// AvgRefs returns the mean number of declared references per object.
+func (db *Database) AvgRefs() float64 {
+	var total int
+	for i := range db.Objects {
+		total += len(db.Objects[i].Refs)
+	}
+	return float64(total) / float64(len(db.Objects))
+}
+
+// Stats summarizes the generated base for reports and cmd/ocbgen.
+type Stats struct {
+	Classes      int
+	Objects      int
+	TotalBytes   int64
+	AvgObjSize   float64
+	AvgRefs      float64
+	NilRefs      int
+	MinClassSize int
+	MaxClassSize int
+}
+
+// ComputeStats gathers Stats over the base.
+func (db *Database) ComputeStats() Stats {
+	s := Stats{
+		Classes:      len(db.Classes),
+		Objects:      len(db.Objects),
+		TotalBytes:   db.TotalBytes(),
+		AvgRefs:      db.AvgRefs(),
+		MinClassSize: 1 << 30,
+	}
+	if s.Objects > 0 {
+		s.AvgObjSize = float64(s.TotalBytes) / float64(s.Objects)
+	}
+	for i := range db.Objects {
+		for _, r := range db.Objects[i].Refs {
+			if r == NilRef {
+				s.NilRefs++
+			}
+		}
+	}
+	for _, insts := range db.ByClass {
+		if len(insts) < s.MinClassSize {
+			s.MinClassSize = len(insts)
+		}
+		if len(insts) > s.MaxClassSize {
+			s.MaxClassSize = len(insts)
+		}
+	}
+	return s
+}
+
+// String formats the stats for humans.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"classes=%d objects=%d size=%.1f MB avgObj=%.0f B avgRefs=%.2f nilRefs=%d class instances=[%d..%d]",
+		s.Classes, s.Objects, float64(s.TotalBytes)/1e6, s.AvgObjSize, s.AvgRefs, s.NilRefs,
+		s.MinClassSize, s.MaxClassSize)
+}

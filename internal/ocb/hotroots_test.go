@@ -1,0 +1,147 @@
+package ocb
+
+import "testing"
+
+func TestHotRootsDerivedFromDatabaseSeed(t *testing.T) {
+	p := DSTCExperimentParams()
+	p.NC = 10
+	p.NO = 500
+	p.HotRootCount = 20
+	a := mustGenerate(t, p, 77)
+	b := mustGenerate(t, p, 77)
+	if len(a.HotRoots) != 20 || len(b.HotRoots) != 20 {
+		t.Fatalf("hot roots = %d/%d, want 20", len(a.HotRoots), len(b.HotRoots))
+	}
+	for i := range a.HotRoots {
+		if a.HotRoots[i] != b.HotRoots[i] {
+			t.Fatal("same database seed produced different hot sets")
+		}
+	}
+	c := mustGenerate(t, p, 78)
+	same := 0
+	for i := range a.HotRoots {
+		if a.HotRoots[i] == c.HotRoots[i] {
+			same++
+		}
+	}
+	if same == len(a.HotRoots) {
+		t.Fatal("different seeds produced identical hot sets")
+	}
+}
+
+func TestHotRootsDistinctAndInRange(t *testing.T) {
+	p := DSTCExperimentParams()
+	p.NC = 10
+	p.NO = 300
+	p.HotRootCount = 50
+	db := mustGenerate(t, p, 5)
+	seen := map[OID]bool{}
+	for _, r := range db.HotRoots {
+		if r < 0 || int(r) >= p.NO {
+			t.Fatalf("hot root %d out of range", r)
+		}
+		if seen[r] {
+			t.Fatalf("duplicate hot root %d", r)
+		}
+		seen[r] = true
+	}
+}
+
+func TestRootsDrawnFromHotSet(t *testing.T) {
+	p := DSTCExperimentParams()
+	p.NC = 10
+	p.NO = 500
+	p.HotRootCount = 15
+	db := mustGenerate(t, p, 9)
+	hot := map[OID]bool{}
+	for _, r := range db.HotRoots {
+		hot[r] = true
+	}
+	g := NewGenerator(db, 10)
+	for i := 0; i < 200; i++ {
+		tx := g.Hierarchy(3)
+		if !hot[tx.Root] {
+			t.Fatalf("root %d outside the hot set", tx.Root)
+		}
+	}
+}
+
+func TestIndependentDrawsShareHotSet(t *testing.T) {
+	// The point of anchoring the hot set to the database: two workload
+	// draws with different seeds must still traverse the same roots — the
+	// pre- and post-clustering phases of the §4.4 protocol depend on it.
+	p := DSTCExperimentParams()
+	p.NC = 10
+	p.NO = 500
+	p.HotRootCount = 15
+	db := mustGenerate(t, p, 11)
+	rootsOf := func(seed uint64) map[OID]bool {
+		out := map[OID]bool{}
+		for _, tx := range GenerateHierarchyWorkload(db, seed, 300, 3) {
+			out[tx.Root] = true
+		}
+		return out
+	}
+	a, b := rootsOf(100), rootsOf(200)
+	for r := range b {
+		if !a[r] {
+			t.Fatalf("root %d appears in draw B only — hot sets diverged", r)
+		}
+	}
+}
+
+func TestNoHotRootsByDefault(t *testing.T) {
+	db := mustGenerate(t, smallParams(), 13)
+	if db.HotRoots != nil {
+		t.Fatal("default params must not restrict roots")
+	}
+}
+
+func TestHotRootCountValidation(t *testing.T) {
+	p := DefaultParams()
+	p.HotRootCount = p.NO + 1
+	if err := p.Validate(); err == nil {
+		t.Fatal("HotRootCount > NO accepted")
+	}
+	p.HotRootCount = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative HotRootCount accepted")
+	}
+}
+
+func TestTypeZeroBiasSkewsRefTypes(t *testing.T) {
+	p := DefaultParams()
+	p.NC = 40
+	p.NO = 200
+	p.TypeZeroBias = 0.6
+	db := mustGenerate(t, p, 15)
+	zero, total := 0, 0
+	for _, c := range db.Classes {
+		for _, r := range c.Refs {
+			total++
+			if r.Type == 0 {
+				zero++
+			}
+		}
+	}
+	frac := float64(zero) / float64(total)
+	if frac < 0.45 || frac > 0.75 {
+		t.Errorf("type-0 fraction = %.2f, want ≈ 0.6", frac)
+	}
+	// Bias 0 → uniform ≈ 1/NRefT.
+	p.TypeZeroBias = 0
+	db = mustGenerate(t, p, 15)
+	zero, total = 0, 0
+	for _, c := range db.Classes {
+		for _, r := range c.Refs {
+			total++
+			if r.Type == 0 {
+				zero++
+			}
+		}
+	}
+	frac = float64(zero) / float64(total)
+	if frac < 0.15 || frac > 0.40 {
+		t.Errorf("unbiased type-0 fraction = %.2f, want ≈ 0.25", frac)
+	}
+}

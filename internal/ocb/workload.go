@@ -1,0 +1,237 @@
+package ocb
+
+import "repro/internal/rng"
+
+// Op is one object access within a transaction.
+type Op struct {
+	Object OID
+	Write  bool
+}
+
+// Transaction is a generated OCB transaction: a typed, ordered sequence of
+// object accesses starting at a root. The sequence depends only on the
+// object graph, never on storage placement, so it stays valid across
+// reorganizations.
+type Transaction struct {
+	ID   int
+	Type TxType
+	Root OID
+	Ops  []Op
+}
+
+// Generator draws OCB transactions over a database. It is deterministic
+// for a given (database, seed).
+type Generator struct {
+	db       *Database
+	src      *rng.Source
+	typeDist *rng.Discrete
+	rootZipf *rng.Zipf
+	next     int
+
+	// visited is reused across transactions to avoid re-allocation; the
+	// epoch trick avoids clearing 20000 entries per transaction.
+	visited []int
+	epoch   int
+}
+
+// NewGenerator returns a workload generator for db using the database's
+// own parameters.
+func NewGenerator(db *Database, seed uint64) *Generator {
+	p := db.Params
+	src := rng.NewStream(seed, 10)
+	g := &Generator{
+		db:  db,
+		src: src,
+		typeDist: rng.NewDiscrete(src, []float64{
+			p.PSet, p.PSimple, p.PHier, p.PStoch,
+		}),
+		visited: make([]int, len(db.Objects)),
+		epoch:   0,
+	}
+	if p.RootDist == Zipf {
+		n := len(db.Objects)
+		if len(db.HotRoots) > 0 {
+			n = len(db.HotRoots)
+		}
+		g.rootZipf = rng.NewZipf(src, n, p.ZipfTheta)
+	}
+	return g
+}
+
+// Next generates the next transaction.
+func (g *Generator) Next() Transaction {
+	p := g.db.Params
+	tt := TxType(g.typeDist.Next())
+	root := g.pickRoot()
+	tx := Transaction{ID: g.next, Type: tt, Root: root}
+	g.next++
+	switch tt {
+	case SetAccess:
+		tx.Ops = g.breadthFirst(root, p.SetDepth)
+	case SimpleTraversal:
+		tx.Ops = g.depthFirst(root, p.SimDepth, false)
+	case HierarchyTraversal:
+		tx.Ops = g.depthFirst(root, p.HieDepth, true)
+	case StochasticTraversal:
+		tx.Ops = g.stochastic(root, p.StoDepth)
+	}
+	return tx
+}
+
+// Hierarchy generates a transaction of a fixed type and depth regardless of
+// the probability mix — used by the DSTC experiment, which runs "very
+// characteristic transactions (namely, depth-3 hierarchy traversals)".
+func (g *Generator) Hierarchy(depth int) Transaction {
+	root := g.pickRoot()
+	tx := Transaction{ID: g.next, Type: HierarchyTraversal, Root: root}
+	g.next++
+	tx.Ops = g.depthFirst(root, depth, true)
+	return tx
+}
+
+func (g *Generator) pickRoot() OID {
+	if len(g.db.HotRoots) > 0 {
+		if g.rootZipf != nil {
+			return g.db.HotRoots[g.rootZipf.Next()]
+		}
+		return g.db.HotRoots[g.src.Intn(len(g.db.HotRoots))]
+	}
+	if g.rootZipf != nil {
+		return OID(g.rootZipf.Next())
+	}
+	return OID(g.src.Intn(len(g.db.Objects)))
+}
+
+func (g *Generator) beginVisit() {
+	g.epoch++
+}
+
+func (g *Generator) seen(o OID) bool { return g.visited[o] == g.epoch }
+func (g *Generator) mark(o OID)      { g.visited[o] = g.epoch }
+
+func (g *Generator) op(o OID) Op {
+	w := g.db.Params.WriteProb > 0 && g.src.Bernoulli(g.db.Params.WriteProb)
+	return Op{Object: o, Write: w}
+}
+
+// breadthFirst visits every object reachable within depth levels, level by
+// level (the set-oriented access).
+func (g *Generator) breadthFirst(root OID, depth int) []Op {
+	g.beginVisit()
+	ops := []Op{g.op(root)}
+	g.mark(root)
+	frontier := []OID{root}
+	for level := 0; level < depth && len(frontier) > 0; level++ {
+		var next []OID
+		for _, o := range frontier {
+			for _, t := range g.db.Objects[o].Refs {
+				if t == NilRef || g.seen(t) {
+					continue
+				}
+				g.mark(t)
+				ops = append(ops, g.op(t))
+				next = append(next, t)
+			}
+		}
+		frontier = next
+	}
+	return ops
+}
+
+// depthFirst visits references in declaration order, preorder, down to
+// depth levels. When hierarchyOnly is set, only type-0 references are
+// followed (the hierarchy traversal).
+func (g *Generator) depthFirst(root OID, depth int, hierarchyOnly bool) []Op {
+	g.beginVisit()
+	var ops []Op
+	var walk func(o OID, remaining int)
+	walk = func(o OID, remaining int) {
+		g.mark(o)
+		ops = append(ops, g.op(o))
+		if remaining == 0 {
+			return
+		}
+		obj := &g.db.Objects[o]
+		classRefs := g.db.Classes[obj.Class].Refs
+		for r, t := range obj.Refs {
+			if t == NilRef || g.seen(t) {
+				continue
+			}
+			if hierarchyOnly && classRefs[r].Type != 0 {
+				continue
+			}
+			walk(t, remaining-1)
+		}
+	}
+	walk(root, depth)
+	return ops
+}
+
+// stochastic takes depth steps, each following one uniformly chosen
+// reference of the current object; it stops early at a sink. Objects may
+// repeat across steps (only consecutive self-loops are impossible by
+// construction); each arrival is an access.
+func (g *Generator) stochastic(root OID, depth int) []Op {
+	ops := []Op{g.op(root)}
+	cur := root
+	for step := 0; step < depth; step++ {
+		refs := g.db.Objects[cur].Refs
+		// Collect non-nil candidates.
+		n := 0
+		for _, t := range refs {
+			if t != NilRef {
+				n++
+			}
+		}
+		if n == 0 {
+			break
+		}
+		k := g.src.Intn(n)
+		for _, t := range refs {
+			if t == NilRef {
+				continue
+			}
+			if k == 0 {
+				cur = t
+				break
+			}
+			k--
+		}
+		ops = append(ops, g.op(cur))
+	}
+	return ops
+}
+
+// Workload pre-generates the full transaction stream of a replication:
+// ColdN unmeasured transactions followed by HotN measured ones.
+type Workload struct {
+	Cold []Transaction
+	Hot  []Transaction
+}
+
+// GenerateWorkload draws the complete stream for one replication.
+func GenerateWorkload(db *Database, seed uint64) *Workload {
+	g := NewGenerator(db, seed)
+	w := &Workload{
+		Cold: make([]Transaction, db.Params.ColdN),
+		Hot:  make([]Transaction, db.Params.HotN),
+	}
+	for i := range w.Cold {
+		w.Cold[i] = g.Next()
+	}
+	for i := range w.Hot {
+		w.Hot[i] = g.Next()
+	}
+	return w
+}
+
+// GenerateHierarchyWorkload draws a stream of fixed hierarchy traversals of
+// the given depth (the DSTC experiment's workload).
+func GenerateHierarchyWorkload(db *Database, seed uint64, n, depth int) []Transaction {
+	g := NewGenerator(db, seed)
+	txs := make([]Transaction, n)
+	for i := range txs {
+		txs[i] = g.Hierarchy(depth)
+	}
+	return txs
+}

@@ -1,0 +1,60 @@
+package paper
+
+import "testing"
+
+func TestSeriesWellFormed(t *testing.T) {
+	for _, s := range []Series{Fig6, Fig7, Fig8, Fig9, Fig10, Fig11} {
+		if len(s.X) != len(s.Benchmark) || len(s.X) != len(s.Simulated) {
+			t.Errorf("%s: ragged series", s.Label)
+		}
+		for i, b := range s.Benchmark {
+			if b <= 0 || s.Simulated[i] <= 0 {
+				t.Errorf("%s: non-positive reading at %d", s.Label, s.X[i])
+			}
+		}
+	}
+}
+
+func TestInstanceSeriesMonotonic(t *testing.T) {
+	for _, s := range []Series{Fig6, Fig7, Fig9, Fig10} {
+		for i := 1; i < len(s.Benchmark); i++ {
+			if s.Benchmark[i] <= s.Benchmark[i-1] {
+				t.Errorf("%s: benchmark not increasing at %d", s.Label, s.X[i])
+			}
+		}
+	}
+}
+
+func TestMemorySeriesDecreasing(t *testing.T) {
+	for _, s := range []Series{Fig8, Fig11} {
+		for i := 1; i < len(s.Benchmark); i++ {
+			if s.Benchmark[i] >= s.Benchmark[i-1] {
+				t.Errorf("%s: more memory should mean fewer I/Os at %d MB", s.Label, s.X[i])
+			}
+		}
+	}
+}
+
+func TestNC50ExceedsNC20(t *testing.T) {
+	for i := range Fig6.X {
+		if Fig7.Benchmark[i] <= Fig6.Benchmark[i] {
+			t.Errorf("O2: NC=50 should exceed NC=20 at NO=%d", Fig6.X[i])
+		}
+		if Fig10.Benchmark[i] <= Fig9.Benchmark[i] {
+			t.Errorf("Texas: NC=50 should exceed NC=20 at NO=%d", Fig9.X[i])
+		}
+	}
+}
+
+func TestTablesExactValues(t *testing.T) {
+	// Spot-check the verbatim table values against the paper text.
+	if Table6[1].Benchmark != 12799.60 || Table6[1].Ratio != 36.1060 {
+		t.Error("Table 6 overhead row corrupted")
+	}
+	if Table7[0].Simulated != 84.01 {
+		t.Error("Table 7 cluster count corrupted")
+	}
+	if Table8[2].Benchmark != 29.47 {
+		t.Error("Table 8 gain corrupted")
+	}
+}

@@ -1,0 +1,150 @@
+// Package queueing provides closed-form results for elementary queueing
+// stations. They serve as the oracle when validating the simulation kernel,
+// playing the role QNAP2 played for DESP-C++ in the paper (§3.2.1): a
+// simulated M/M/1 or M/M/c station must reproduce these formulas within
+// statistical tolerance.
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// MM1 describes a single-server queue with Poisson arrivals (rate λ) and
+// exponential service (rate μ), FIFO, infinite room.
+type MM1 struct {
+	Lambda float64 // arrival rate
+	Mu     float64 // service rate
+}
+
+// Rho returns the utilization ρ = λ/μ.
+func (q MM1) Rho() float64 { return q.Lambda / q.Mu }
+
+func (q MM1) check() {
+	if q.Lambda <= 0 || q.Mu <= 0 {
+		panic(fmt.Sprintf("queueing: invalid MM1 rates λ=%v μ=%v", q.Lambda, q.Mu))
+	}
+	if q.Rho() >= 1 {
+		panic(fmt.Sprintf("queueing: unstable MM1 (ρ=%v ≥ 1)", q.Rho()))
+	}
+}
+
+// L returns the mean number of customers in the system: ρ/(1−ρ).
+func (q MM1) L() float64 {
+	q.check()
+	rho := q.Rho()
+	return rho / (1 - rho)
+}
+
+// Lq returns the mean queue length (excluding the one in service).
+func (q MM1) Lq() float64 {
+	q.check()
+	rho := q.Rho()
+	return rho * rho / (1 - rho)
+}
+
+// W returns the mean time in system: 1/(μ−λ).
+func (q MM1) W() float64 {
+	q.check()
+	return 1 / (q.Mu - q.Lambda)
+}
+
+// Wq returns the mean waiting time in queue: ρ/(μ−λ).
+func (q MM1) Wq() float64 {
+	q.check()
+	return q.Rho() / (q.Mu - q.Lambda)
+}
+
+// MMC describes an M/M/c queue: Poisson arrivals, c identical exponential
+// servers, FIFO, infinite room.
+type MMC struct {
+	Lambda  float64
+	Mu      float64
+	Servers int
+}
+
+// Rho returns the per-server utilization λ/(cμ).
+func (q MMC) Rho() float64 { return q.Lambda / (float64(q.Servers) * q.Mu) }
+
+func (q MMC) check() {
+	if q.Lambda <= 0 || q.Mu <= 0 || q.Servers < 1 {
+		panic(fmt.Sprintf("queueing: invalid MMC λ=%v μ=%v c=%d", q.Lambda, q.Mu, q.Servers))
+	}
+	if q.Rho() >= 1 {
+		panic(fmt.Sprintf("queueing: unstable MMC (ρ=%v ≥ 1)", q.Rho()))
+	}
+}
+
+// ErlangC returns the probability an arriving customer must wait
+// (the Erlang-C formula).
+func (q MMC) ErlangC() float64 {
+	q.check()
+	c := q.Servers
+	a := q.Lambda / q.Mu // offered load in Erlangs
+	// Compute the sum Σ_{k<c} a^k/k! and the term a^c/c! in a
+	// numerically careful incremental way.
+	term := 1.0
+	sum := 1.0
+	for k := 1; k < c; k++ {
+		term *= a / float64(k)
+		sum += term
+	}
+	termC := term * a / float64(c)
+	top := termC * float64(c) / (float64(c) - a)
+	return top / (sum + top)
+}
+
+// Lq returns the mean queue length.
+func (q MMC) Lq() float64 {
+	q.check()
+	rho := q.Rho()
+	return q.ErlangC() * rho / (1 - rho)
+}
+
+// Wq returns the mean wait in queue.
+func (q MMC) Wq() float64 {
+	return q.Lq() / q.Lambda
+}
+
+// W returns the mean time in system.
+func (q MMC) W() float64 {
+	return q.Wq() + 1/q.Mu
+}
+
+// L returns the mean number in system (Little's law).
+func (q MMC) L() float64 {
+	return q.Lambda * q.W()
+}
+
+// MG1Wq returns the mean queue wait of an M/G/1 queue by the
+// Pollaczek–Khinchine formula: λ·E[S²]/(2(1−ρ)). The disk model's service
+// times are a mixture (full access vs contiguous transfer), so this is the
+// right oracle for a disk fed by Poisson requests.
+func MG1Wq(lambda, meanS, secondMomentS float64) float64 {
+	rho := lambda * meanS
+	if rho >= 1 {
+		panic(fmt.Sprintf("queueing: unstable MG1 (ρ=%v)", rho))
+	}
+	return lambda * secondMomentS / (2 * (1 - rho))
+}
+
+// MD1Wq returns the mean queue wait of an M/D/1 queue (deterministic
+// service time s, Poisson arrivals λ): ρs/(2(1−ρ)). Used to sanity-check
+// the disk model under Poisson request streams.
+func MD1Wq(lambda, s float64) float64 {
+	return MG1Wq(lambda, s, s*s)
+}
+
+// Tolerance returns a reasonable relative tolerance for comparing a
+// simulated statistic against theory given n observed customers; it shrinks
+// as 1/√n but never below floor.
+func Tolerance(n int, floor float64) float64 {
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	tol := 4 / math.Sqrt(float64(n))
+	if tol < floor {
+		return floor
+	}
+	return tol
+}

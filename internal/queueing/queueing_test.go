@@ -1,0 +1,136 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMM1KnownValues(t *testing.T) {
+	q := MM1{Lambda: 1, Mu: 2} // ρ = 0.5
+	if !almost(q.L(), 1, 1e-12) {
+		t.Errorf("L = %v, want 1", q.L())
+	}
+	if !almost(q.Lq(), 0.5, 1e-12) {
+		t.Errorf("Lq = %v, want 0.5", q.Lq())
+	}
+	if !almost(q.W(), 1, 1e-12) {
+		t.Errorf("W = %v, want 1", q.W())
+	}
+	if !almost(q.Wq(), 0.5, 1e-12) {
+		t.Errorf("Wq = %v, want 0.5", q.Wq())
+	}
+}
+
+func TestMM1LittlesLaw(t *testing.T) {
+	for _, rho := range []float64{0.1, 0.5, 0.9} {
+		q := MM1{Lambda: rho, Mu: 1}
+		if !almost(q.L(), q.Lambda*q.W(), 1e-12) {
+			t.Errorf("Little's law violated at ρ=%v", rho)
+		}
+		if !almost(q.Lq(), q.Lambda*q.Wq(), 1e-12) {
+			t.Errorf("Little's law (queue) violated at ρ=%v", rho)
+		}
+	}
+}
+
+func TestMM1Unstable(t *testing.T) {
+	q := MM1{Lambda: 2, Mu: 1}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unstable queue did not panic")
+		}
+	}()
+	q.L()
+}
+
+func TestMMCReducesToMM1(t *testing.T) {
+	m1 := MM1{Lambda: 0.7, Mu: 1}
+	mc := MMC{Lambda: 0.7, Mu: 1, Servers: 1}
+	if !almost(m1.Lq(), mc.Lq(), 1e-12) {
+		t.Errorf("M/M/1 Lq %v vs M/M/c(1) %v", m1.Lq(), mc.Lq())
+	}
+	if !almost(m1.W(), mc.W(), 1e-12) {
+		t.Errorf("M/M/1 W %v vs M/M/c(1) %v", m1.W(), mc.W())
+	}
+	// Erlang C with one server is just ρ.
+	if !almost(mc.ErlangC(), 0.7, 1e-12) {
+		t.Errorf("ErlangC(1 server) = %v, want ρ", mc.ErlangC())
+	}
+}
+
+func TestErlangCTextbook(t *testing.T) {
+	// Classic: λ=2/min, service 1 min, c=3 → a=2 erlangs.
+	// P(wait) = (8/6·3) / ((1+2+2) + 8/6·3) … standard value 0.44444.
+	q := MMC{Lambda: 2, Mu: 1, Servers: 3}
+	if !almost(q.ErlangC(), 4.0/9, 1e-9) {
+		t.Errorf("ErlangC = %v, want 4/9", q.ErlangC())
+	}
+}
+
+func TestMMCLittlesLaw(t *testing.T) {
+	q := MMC{Lambda: 3, Mu: 1, Servers: 5}
+	if !almost(q.L(), q.Lambda*q.W(), 1e-12) {
+		t.Error("Little's law violated for M/M/c")
+	}
+}
+
+func TestMD1(t *testing.T) {
+	// ρ=0.5, s=1 → Wq = 0.5/(2·0.5) = 0.5 (half the M/M/1 value, as theory says).
+	if got := MD1Wq(0.5, 1); !almost(got, 0.5, 1e-12) {
+		t.Errorf("MD1Wq = %v, want 0.5", got)
+	}
+	mm1 := MM1{Lambda: 0.5, Mu: 1}
+	if !almost(MD1Wq(0.5, 1), mm1.Wq()/2, 1e-12) {
+		t.Error("M/D/1 wait should be half of M/M/1")
+	}
+}
+
+func TestTolerance(t *testing.T) {
+	if Tolerance(0, 0.01) != math.Inf(1) {
+		t.Error("Tolerance(0) should be +Inf")
+	}
+	if got := Tolerance(10000, 0.01); !almost(got, 0.04, 1e-12) {
+		t.Errorf("Tolerance(10000) = %v", got)
+	}
+	if got := Tolerance(1<<40, 0.01); got != 0.01 {
+		t.Errorf("floor not applied: %v", got)
+	}
+}
+
+func TestMG1ReducesToMM1(t *testing.T) {
+	// Exponential service: E[S²] = 2/μ² → Wq must equal the M/M/1 value.
+	lambda, mu := 0.5, 1.0
+	mm1 := MM1{Lambda: lambda, Mu: mu}
+	got := MG1Wq(lambda, 1/mu, 2/(mu*mu))
+	if !almost(got, mm1.Wq(), 1e-12) {
+		t.Errorf("MG1 with exponential service = %v, want %v", got, mm1.Wq())
+	}
+}
+
+func TestMG1Mixture(t *testing.T) {
+	// Two-point service mixture 12.2 ms (90%) / 0.5 ms (10%): the disk
+	// model's shape. Hand-computed moments.
+	p, a, b := 0.9, 12.2, 0.5
+	mean := p*a + (1-p)*b
+	second := p*a*a + (1-p)*b*b
+	lambda := 0.05 // ρ ≈ 0.55
+	got := MG1Wq(lambda, mean, second)
+	want := lambda * second / (2 * (1 - lambda*mean))
+	if !almost(got, want, 1e-12) {
+		t.Errorf("MG1 mixture = %v, want %v", got, want)
+	}
+	if got <= 0 {
+		t.Error("non-positive wait")
+	}
+}
+
+func TestMG1Unstable(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unstable MG1 accepted")
+		}
+	}()
+	MG1Wq(2, 1, 2)
+}

@@ -1,0 +1,94 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("a-much-longer-name", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if lines[0] != "Demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	// All data lines equal width.
+	if len(lines[2]) != len(lines[3]) {
+		t.Errorf("misaligned:\n%s", out)
+	}
+	if !strings.Contains(out, "a-much-longer-name") {
+		t.Error("row lost")
+	}
+}
+
+func TestAddRowPads(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("only-one")
+	if len(tb.Rows[0]) != 3 {
+		t.Fatalf("row not padded: %v", tb.Rows[0])
+	}
+}
+
+func TestAddf(t *testing.T) {
+	tb := NewTable("", "s", "f", "i", "u")
+	tb.Addf("x", 3.14159, 42, uint64(7))
+	row := tb.Rows[0]
+	if row[0] != "x" || row[1] != "3.14" || row[2] != "42" || row[3] != "7" {
+		t.Fatalf("row = %v", row)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		5:       "5",
+		1890.7:  "1890.7",
+		3.14159: "3.14",
+		0.5:     "0.50",
+	}
+	for v, want := range cases {
+		if got := FormatFloat(v); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("plain", `with,comma`)
+	tb.AddRow(`with"quote`, "x")
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"with,comma"`) {
+		t.Errorf("comma cell not quoted: %q", csv)
+	}
+	if !strings.Contains(csv, `"with""quote"`) {
+		t.Errorf("quote cell not escaped: %q", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Errorf("header wrong: %q", csv)
+	}
+}
+
+func TestChart(t *testing.T) {
+	out := Chart("Fig", []int{1, 2, 3}, map[string][]float64{
+		"bench": {1, 2, 3},
+		"sim":   {1.2, 2.1, 2.9},
+	}, 8)
+	if !strings.Contains(out, "Fig") || !strings.Contains(out, "* = bench") || !strings.Contains(out, "o = sim") {
+		t.Fatalf("chart missing parts:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("no data points plotted")
+	}
+}
+
+func TestChartDegenerate(t *testing.T) {
+	out := Chart("Zero", []int{1}, map[string][]float64{"z": {0}}, 2)
+	if out == "" {
+		t.Fatal("empty chart")
+	}
+}

@@ -1,0 +1,95 @@
+package sim
+
+import "fmt"
+
+// Process is the transaction-view counterpart of the kernel's event view
+// (Table 2 of the paper contrasts the two): a sequential activity — like
+// DESP-C++'s Client entities or SLAM II's flowing transactions — written as
+// straight-line code that can Wait for simulated time and Acquire passive
+// resources, instead of hand-rolled continuations.
+//
+// Processes are implemented as goroutines that run strictly one at a time,
+// hand-shaking with the scheduler through unbuffered channels, so the
+// simulation stays fully deterministic: at any instant either the scheduler
+// or exactly one process runs.
+type Process struct {
+	sim    *Simulation
+	name   string
+	resume chan struct{}
+	yield  chan struct{}
+	done   bool
+}
+
+// StartProcess launches body as a simulated process at the current time.
+// The body receives the Process handle for Wait/Acquire calls. The process
+// ends when body returns.
+func (s *Simulation) StartProcess(name string, body func(p *Process)) *Process {
+	p := &Process{
+		sim:    s,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	s.Schedule(0, func() {
+		go func() {
+			<-p.resume
+			body(p)
+			p.done = true
+			p.yield <- struct{}{}
+		}()
+		p.activate()
+	})
+	return p
+}
+
+// activate hands control to the process and blocks until it yields.
+func (p *Process) activate() {
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// Name returns the process name.
+func (p *Process) Name() string { return p.name }
+
+// Done reports whether the body has returned.
+func (p *Process) Done() bool { return p.done }
+
+// Wait suspends the process for d units of simulated time. It must be
+// called from the process's own body.
+func (p *Process) Wait(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: process %q waits %v", p.name, d))
+	}
+	p.sim.Schedule(d, func() { p.activate() })
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Acquire blocks the process until one token of r is granted.
+func (p *Process) Acquire(r *Resource) {
+	granted := false
+	r.Request(func() {
+		if granted {
+			// Grant arrived later, from a Release: wake the process.
+			p.activate()
+			return
+		}
+		granted = true
+	})
+	if granted {
+		return // immediate grant: keep running
+	}
+	granted = true
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Use acquires r, holds it for d simulated time, and releases it.
+func (p *Process) Use(r *Resource, d Time) {
+	p.Acquire(r)
+	p.Wait(d)
+	r.Release()
+}
+
+// Now returns the current simulated time.
+func (p *Process) Now() Time { return p.sim.Now() }

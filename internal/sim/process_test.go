@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestProcessWaitAdvancesTime(t *testing.T) {
+	s := New()
+	var times []Time
+	s.StartProcess("p", func(p *Process) {
+		times = append(times, p.Now())
+		p.Wait(5)
+		times = append(times, p.Now())
+		p.Wait(2.5)
+		times = append(times, p.Now())
+	})
+	s.Run()
+	want := []Time{0, 5, 7.5}
+	if len(times) != len(want) {
+		t.Fatalf("times = %v", times)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestProcessDone(t *testing.T) {
+	s := New()
+	p := s.StartProcess("p", func(p *Process) { p.Wait(1) })
+	if p.Done() {
+		t.Fatal("done before running")
+	}
+	s.Run()
+	if !p.Done() {
+		t.Fatal("not done after run")
+	}
+	if p.Name() != "p" {
+		t.Fatal("name lost")
+	}
+}
+
+func TestProcessesInterleaveDeterministically(t *testing.T) {
+	s := New()
+	var order []string
+	mk := func(name string, offset Time) {
+		s.StartProcess(name, func(p *Process) {
+			for i := 0; i < 3; i++ {
+				p.Wait(2)
+				order = append(order, name)
+			}
+		})
+		_ = offset
+	}
+	mk("a", 0)
+	mk("b", 0)
+	s.Run()
+	// Both wake at the same instants; FIFO tie-break makes a always first.
+	want := []string{"a", "b", "a", "b", "a", "b"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestProcessAcquireQueues(t *testing.T) {
+	s := New()
+	r := NewResource(s, "srv", 1)
+	var order []string
+	s.StartProcess("first", func(p *Process) {
+		p.Acquire(r)
+		order = append(order, "first-got")
+		p.Wait(10)
+		r.Release()
+	})
+	s.StartProcess("second", func(p *Process) {
+		p.Wait(1) // arrive later
+		p.Acquire(r)
+		order = append(order, "second-got")
+		if p.Now() != 10 {
+			t.Errorf("second granted at %v, want 10", p.Now())
+		}
+		r.Release()
+	})
+	s.Run()
+	if len(order) != 2 || order[0] != "first-got" || order[1] != "second-got" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestProcessUse(t *testing.T) {
+	s := New()
+	r := NewResource(s, "srv", 1)
+	end := Time(0)
+	s.StartProcess("u", func(p *Process) {
+		p.Use(r, 4)
+		end = p.Now()
+	})
+	s.Run()
+	if end != 4 {
+		t.Fatalf("end = %v, want 4", end)
+	}
+	if r.InUse() != 0 {
+		t.Fatal("resource leaked")
+	}
+}
+
+func TestProcessNegativeWaitPanics(t *testing.T) {
+	s := New()
+	panicked := make(chan bool, 1)
+	s.StartProcess("bad", func(p *Process) {
+		defer func() { panicked <- recover() != nil }()
+		p.Wait(-1)
+	})
+	// The panic happens inside the process goroutine; the deferred recover
+	// reports it and the body returns normally afterwards.
+	s.Run()
+	select {
+	case ok := <-panicked:
+		if !ok {
+			t.Fatal("no panic for negative wait")
+		}
+	default:
+		t.Fatal("process never ran")
+	}
+}
+
+// A process-style M/M/1 must agree with the callback-style station and with
+// theory — the two world views of Table 2 are equivalent.
+func TestProcessMM1MatchesTheory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical validation skipped in -short mode")
+	}
+	s := New()
+	srv := NewResource(s, "server", 1)
+	arrivals := rng.NewStream(41, 0)
+	services := rng.NewStream(41, 1)
+	const customers = 30000
+	totalW := 0.0
+	finished := 0
+	s.StartProcess("source", func(p *Process) {
+		for i := 0; i < customers; i++ {
+			p.Wait(arrivals.Exp(2)) // λ = 0.5
+			service := services.Exp(1)
+			s.StartProcess("customer", func(c *Process) {
+				t0 := c.Now()
+				c.Acquire(srv)
+				c.Wait(service)
+				srv.Release()
+				totalW += c.Now() - t0
+				finished++
+			})
+		}
+	})
+	s.Run()
+	if finished != customers {
+		t.Fatalf("finished %d customers", finished)
+	}
+	w := totalW / float64(finished)
+	// Theory: W = 1/(μ−λ) = 2.
+	if w < 1.8 || w > 2.2 {
+		t.Errorf("process-view M/M/1 W = %v, want ≈ 2", w)
+	}
+}
+
+func TestManyProcessesStress(t *testing.T) {
+	s := New()
+	r := NewResource(s, "shared", 3)
+	count := 0
+	for i := 0; i < 200; i++ {
+		s.StartProcess("w", func(p *Process) {
+			p.Use(r, 1)
+			count++
+		})
+	}
+	s.Run()
+	if count != 200 {
+		t.Fatalf("count = %d", count)
+	}
+	if r.InUse() != 0 {
+		t.Fatal("resource leaked")
+	}
+}

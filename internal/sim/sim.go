@@ -1,0 +1,241 @@
+// Package sim implements DESP-Go, a small deterministic discrete-event
+// simulation kernel in the spirit of the paper's DESP-C++ (Discrete-Event
+// Simulation Package for C++, §3.2.1).
+//
+// The kernel uses the resource view (Table 2 of the paper): the modeller
+// writes active resources as ordinary Go types whose activities are methods
+// scheduled on a Simulation, and passive resources as Resource values that
+// are reserved and released with queueing.
+//
+// The kernel is strictly deterministic: events with equal timestamps fire
+// in the order they were scheduled, and nothing in the kernel depends on
+// map iteration order or wall-clock time.
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is simulated time. The unit is chosen by the model; the VOODB model
+// uses milliseconds throughout.
+type Time = float64
+
+// Event is a scheduled activity. It is returned by Schedule so the caller
+// may cancel it before it fires.
+type Event struct {
+	time     Time
+	seq      uint64
+	index    int // heap index, -1 once fired or cancelled
+	action   func()
+	canceled bool
+}
+
+// Time returns the simulated time at which the event fires (or would have
+// fired, if cancelled).
+func (e *Event) Time() Time { return e.time }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.canceled }
+
+// Simulation is a discrete-event simulation: an event calendar and a clock.
+// The zero value is not usable; call New.
+type Simulation struct {
+	now  Time
+	heap []*Event
+	seq  uint64
+
+	scheduled uint64
+	executed  uint64
+	cancelled uint64
+
+	// Trace, when non-nil, is invoked for every executed event with the
+	// firing time. It exists for debugging models and is never set by the
+	// kernel itself.
+	Trace func(t Time)
+}
+
+// New returns an empty simulation with the clock at zero.
+func New() *Simulation {
+	return &Simulation{}
+}
+
+// Now returns the current simulated time.
+func (s *Simulation) Now() Time { return s.now }
+
+// Pending returns the number of events waiting in the calendar.
+func (s *Simulation) Pending() int { return len(s.heap) }
+
+// Scheduled returns the total number of events ever scheduled.
+func (s *Simulation) Scheduled() uint64 { return s.scheduled }
+
+// Executed returns the total number of events executed.
+func (s *Simulation) Executed() uint64 { return s.executed }
+
+// Schedule registers action to run after delay units of simulated time.
+// It panics if delay is negative or NaN, or if action is nil: both are
+// model bugs that must not be silently absorbed.
+func (s *Simulation) Schedule(delay Time, action func()) *Event {
+	if math.IsNaN(delay) || delay < 0 {
+		panic(fmt.Sprintf("sim: Schedule with invalid delay %v", delay))
+	}
+	return s.ScheduleAt(s.now+delay, action)
+}
+
+// ScheduleAt registers action to run at absolute simulated time t.
+// It panics if t is in the past or action is nil.
+func (s *Simulation) ScheduleAt(t Time, action func()) *Event {
+	if action == nil {
+		panic("sim: ScheduleAt with nil action")
+	}
+	if math.IsNaN(t) || t < s.now {
+		panic(fmt.Sprintf("sim: ScheduleAt %v before now %v", t, s.now))
+	}
+	e := &Event{time: t, seq: s.seq, action: action}
+	s.seq++
+	s.scheduled++
+	s.push(e)
+	return e
+}
+
+// Cancel removes the event from the calendar if it has not fired yet.
+// Cancelling an already-fired or already-cancelled event is a no-op.
+func (s *Simulation) Cancel(e *Event) {
+	if e == nil || e.canceled || e.index < 0 {
+		return
+	}
+	e.canceled = true
+	s.remove(e)
+	s.cancelled++
+}
+
+// Step executes the single next event. It returns false when the calendar
+// is empty.
+func (s *Simulation) Step() bool {
+	e := s.pop()
+	if e == nil {
+		return false
+	}
+	s.now = e.time
+	s.executed++
+	if s.Trace != nil {
+		s.Trace(s.now)
+	}
+	e.action()
+	return true
+}
+
+// Run executes events until the calendar is empty.
+func (s *Simulation) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events whose time is ≤ horizon, then advances the clock
+// to horizon. Events scheduled beyond the horizon remain in the calendar.
+func (s *Simulation) RunUntil(horizon Time) {
+	for {
+		e := s.peek()
+		if e == nil || e.time > horizon {
+			break
+		}
+		s.Step()
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+}
+
+// RunFor executes events for d units of simulated time from now.
+func (s *Simulation) RunFor(d Time) { s.RunUntil(s.now + d) }
+
+// --- event calendar: binary min-heap ordered by (time, seq) ---
+
+func (s *Simulation) less(i, j int) bool {
+	a, b := s.heap[i], s.heap[j]
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+func (s *Simulation) swap(i, j int) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.heap[i].index = i
+	s.heap[j].index = j
+}
+
+func (s *Simulation) push(e *Event) {
+	e.index = len(s.heap)
+	s.heap = append(s.heap, e)
+	s.up(e.index)
+}
+
+func (s *Simulation) peek() *Event {
+	if len(s.heap) == 0 {
+		return nil
+	}
+	return s.heap[0]
+}
+
+func (s *Simulation) pop() *Event {
+	if len(s.heap) == 0 {
+		return nil
+	}
+	e := s.heap[0]
+	last := len(s.heap) - 1
+	s.swap(0, last)
+	s.heap[last] = nil
+	s.heap = s.heap[:last]
+	if last > 0 {
+		s.down(0)
+	}
+	e.index = -1
+	return e
+}
+
+func (s *Simulation) remove(e *Event) {
+	i := e.index
+	if i < 0 || i >= len(s.heap) || s.heap[i] != e {
+		return
+	}
+	last := len(s.heap) - 1
+	s.swap(i, last)
+	s.heap[last] = nil
+	s.heap = s.heap[:last]
+	if i < last {
+		s.down(i)
+		s.up(i)
+	}
+	e.index = -1
+}
+
+func (s *Simulation) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s.swap(i, parent)
+		i = parent
+	}
+}
+
+func (s *Simulation) down(i int) {
+	n := len(s.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && s.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		s.swap(i, smallest)
+		i = smallest
+	}
+}

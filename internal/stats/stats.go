@@ -1,0 +1,155 @@
+// Package stats implements the output analysis used by the paper (§4.2.2):
+// sample means, standard deviations, Student-t confidence intervals
+// following Banks' method, and the pilot-study rule n* = n·(h/h*)² for
+// sizing the number of replications.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sample accumulates observations with Welford's numerically stable
+// one-pass algorithm. The zero value is an empty sample ready to use.
+type Sample struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+	sum  float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.sum += x
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// AddAll records every observation in xs.
+func (s *Sample) AddAll(xs []float64) {
+	for _, x := range xs {
+		s.Add(x)
+	}
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return s.n }
+
+// Sum returns the sum of the observations.
+func (s *Sample) Sum() float64 { return s.sum }
+
+// Mean returns the sample mean X̄ (0 for an empty sample).
+func (s *Sample) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation (0 for an empty sample).
+func (s *Sample) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 for an empty sample).
+func (s *Sample) Max() float64 { return s.max }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (s *Sample) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation σ.
+func (s *Sample) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Merge folds other into s, as if every observation of other had been
+// added to s (Chan et al. parallel variance formula).
+func (s *Sample) Merge(other *Sample) {
+	if other.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *other
+		return
+	}
+	na, nb := float64(s.n), float64(other.n)
+	delta := other.mean - s.mean
+	tot := na + nb
+	s.m2 += other.m2 + delta*delta*na*nb/tot
+	s.mean += delta * nb / tot
+	s.sum += other.sum
+	s.n += other.n
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+}
+
+// Interval is a symmetric confidence interval around a sample mean.
+type Interval struct {
+	Mean       float64
+	HalfWidth  float64 // h in the paper's notation
+	Confidence float64 // e.g. 0.95
+	N          int     // replications
+}
+
+// Lo returns the lower bound X̄ − h.
+func (ci Interval) Lo() float64 { return ci.Mean - ci.HalfWidth }
+
+// Hi returns the upper bound X̄ + h.
+func (ci Interval) Hi() float64 { return ci.Mean + ci.HalfWidth }
+
+// Contains reports whether v lies within the interval.
+func (ci Interval) Contains(v float64) bool {
+	return v >= ci.Lo() && v <= ci.Hi()
+}
+
+// String formats the interval as "m ± h (c%)".
+func (ci Interval) String() string {
+	return fmt.Sprintf("%.2f ± %.2f (%.0f%%)", ci.Mean, ci.HalfWidth, ci.Confidence*100)
+}
+
+// ConfidenceInterval computes the Student-t interval of the paper:
+// h = t(n−1, 1−α/2) · σ/√n. It panics if confidence is outside (0, 1).
+// For n < 2 the half-width is +Inf (no variance information).
+func ConfidenceInterval(s *Sample, confidence float64) Interval {
+	if confidence <= 0 || confidence >= 1 {
+		panic(fmt.Sprintf("stats: confidence %v outside (0,1)", confidence))
+	}
+	ci := Interval{Mean: s.Mean(), Confidence: confidence, N: s.N()}
+	if s.N() < 2 {
+		ci.HalfWidth = math.Inf(1)
+		return ci
+	}
+	alpha := 1 - confidence
+	t := TQuantile(float64(s.N()-1), 1-alpha/2)
+	ci.HalfWidth = t * s.StdDev() / math.Sqrt(float64(s.N()))
+	return ci
+}
+
+// RequiredReplications implements the paper's pilot-study sizing:
+// given a pilot of n replications with half-width h, the number of total
+// replications needed to reach the desired half-width h* is n·(h/h*)²
+// (rounded up). The return value is the total, not the additional count.
+func RequiredReplications(pilotN int, pilotHalfWidth, desiredHalfWidth float64) int {
+	if desiredHalfWidth <= 0 {
+		panic("stats: desired half-width must be positive")
+	}
+	if pilotHalfWidth <= desiredHalfWidth {
+		return pilotN
+	}
+	ratio := pilotHalfWidth / desiredHalfWidth
+	return int(math.Ceil(float64(pilotN) * ratio * ratio))
+}

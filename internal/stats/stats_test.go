@@ -1,0 +1,245 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if !almost(s.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", s.Mean())
+	}
+	// Unbiased variance of this classic set is 32/7.
+	if !almost(s.Variance(), 32.0/7, 1e-12) {
+		t.Errorf("Variance = %v, want %v", s.Variance(), 32.0/7)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+	if !almost(s.Sum(), 40, 1e-12) {
+		t.Errorf("Sum = %v, want 40", s.Sum())
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Variance() != 0 || s.StdDev() != 0 {
+		t.Error("empty sample should have zero moments")
+	}
+	s.Add(3.5)
+	if s.Mean() != 3.5 || s.Variance() != 0 {
+		t.Errorf("single observation: mean %v var %v", s.Mean(), s.Variance())
+	}
+	ci := ConfidenceInterval(&s, 0.95)
+	if !math.IsInf(ci.HalfWidth, 1) {
+		t.Errorf("CI half-width with n=1 should be +Inf, got %v", ci.HalfWidth)
+	}
+}
+
+func TestMergeMatchesSequential(t *testing.T) {
+	xs := []float64{1.5, -2, 3.25, 8, 0, 4.5, -7, 2.125, 9, 1}
+	var whole, a, b Sample
+	whole.AddAll(xs)
+	a.AddAll(xs[:4])
+	b.AddAll(xs[4:])
+	a.Merge(&b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+	if !almost(a.Mean(), whole.Mean(), 1e-12) {
+		t.Errorf("merged mean %v, want %v", a.Mean(), whole.Mean())
+	}
+	if !almost(a.Variance(), whole.Variance(), 1e-10) {
+		t.Errorf("merged variance %v, want %v", a.Variance(), whole.Variance())
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Errorf("merged min/max %v/%v, want %v/%v", a.Min(), a.Max(), whole.Min(), whole.Max())
+	}
+}
+
+func TestMergeEmptyCases(t *testing.T) {
+	var a, b Sample
+	a.Add(1)
+	a.Merge(&b) // merge empty into non-empty
+	if a.N() != 1 {
+		t.Fatal("merge with empty changed N")
+	}
+	var c Sample
+	c.Merge(&a) // merge into empty
+	if c.N() != 1 || c.Mean() != 1 {
+		t.Fatal("merge into empty failed")
+	}
+}
+
+// Property: Welford mean/variance agree with the naive two-pass formulas.
+func TestPropertyWelfordMatchesNaive(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var s Sample
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v) / 16
+			s.Add(xs[i])
+		}
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(len(xs))
+		varSum := 0.0
+		for _, x := range xs {
+			varSum += (x - mean) * (x - mean)
+		}
+		variance := varSum / float64(len(xs)-1)
+		return almost(s.Mean(), mean, 1e-8) && almost(s.Variance(), variance, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Student-t critical values from standard tables (two-sided 95% → p=0.975).
+func TestTQuantileTableValues(t *testing.T) {
+	cases := []struct {
+		nu   float64
+		p    float64
+		want float64
+	}{
+		{1, 0.975, 12.7062},
+		{2, 0.975, 4.30265},
+		{5, 0.975, 2.57058},
+		{9, 0.975, 2.26216},
+		{10, 0.975, 2.22814},
+		{30, 0.975, 2.04227},
+		{99, 0.975, 1.98422},
+		{5, 0.95, 2.01505},
+		{10, 0.995, 3.16927},
+		{20, 0.90, 1.32534},
+	}
+	for _, c := range cases {
+		got := TQuantile(c.nu, c.p)
+		if !almost(got, c.want, 5e-4) {
+			t.Errorf("TQuantile(%v, %v) = %v, want %v", c.nu, c.p, got, c.want)
+		}
+	}
+}
+
+func TestTQuantileSymmetry(t *testing.T) {
+	for _, nu := range []float64{1, 3, 10, 50} {
+		for _, p := range []float64{0.6, 0.9, 0.99} {
+			a := TQuantile(nu, p)
+			b := TQuantile(nu, 1-p)
+			if !almost(a, -b, 1e-9) {
+				t.Errorf("TQuantile(%v) not symmetric: %v vs %v", nu, a, b)
+			}
+		}
+	}
+	if TQuantile(7, 0.5) != 0 {
+		t.Error("median of t-distribution should be 0")
+	}
+}
+
+func TestTCDFInvertsQuantile(t *testing.T) {
+	for _, nu := range []float64{2, 9, 42} {
+		for _, p := range []float64{0.55, 0.8, 0.975, 0.999} {
+			q := TQuantile(nu, p)
+			back := TCDF(nu, q)
+			if !almost(back, p, 1e-9) {
+				t.Errorf("TCDF(%v, TQuantile(%v, %v)) = %v", nu, nu, p, back)
+			}
+		}
+	}
+}
+
+func TestTApproachesNormal(t *testing.T) {
+	// With huge ν the t quantile approaches the normal quantile 1.95996.
+	got := TQuantile(1e6, 0.975)
+	if !almost(got, 1.95996, 1e-3) {
+		t.Errorf("TQuantile(1e6, .975) = %v, want ≈ 1.96", got)
+	}
+}
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	// I_x(1,1) = x (uniform distribution).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if got := RegIncBeta(1, 1, x); !almost(got, x, 1e-12) {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+	}
+	// I_x(2,2) = x²(3−2x).
+	for _, x := range []float64{0.25, 0.5, 0.75} {
+		want := x * x * (3 - 2*x)
+		if got := RegIncBeta(2, 2, x); !almost(got, want, 1e-12) {
+			t.Errorf("I_%v(2,2) = %v, want %v", x, got, want)
+		}
+	}
+	if RegIncBeta(3, 4, 0) != 0 || RegIncBeta(3, 4, 1) != 1 {
+		t.Error("boundary values wrong")
+	}
+}
+
+func TestConfidenceInterval(t *testing.T) {
+	// Hand-checked: xs with mean 10, sd 2, n=4 → h = 3.18245·2/2 = 3.18245.
+	var s Sample
+	s.AddAll([]float64{8, 12, 8, 12})
+	ci := ConfidenceInterval(&s, 0.95)
+	if !almost(ci.Mean, 10, 1e-12) {
+		t.Errorf("mean %v", ci.Mean)
+	}
+	wantSD := math.Sqrt(16.0 / 3)
+	wantH := TQuantile(3, 0.975) * wantSD / 2
+	if !almost(ci.HalfWidth, wantH, 1e-9) {
+		t.Errorf("half-width %v, want %v", ci.HalfWidth, wantH)
+	}
+	if !ci.Contains(10) || ci.Contains(100) {
+		t.Error("Contains misbehaves")
+	}
+	if ci.Lo() >= ci.Hi() {
+		t.Error("degenerate interval")
+	}
+}
+
+func TestConfidenceIntervalPanics(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{1, 2})
+	for _, c := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("confidence %v: no panic", c)
+				}
+			}()
+			ConfidenceInterval(&s, c)
+		}()
+	}
+}
+
+func TestRequiredReplications(t *testing.T) {
+	// Paper's rule: n* = n(h/h*)².
+	if got := RequiredReplications(10, 4, 2); got != 40 {
+		t.Errorf("RequiredReplications(10,4,2) = %d, want 40", got)
+	}
+	if got := RequiredReplications(10, 2, 4); got != 10 {
+		t.Errorf("already precise enough: got %d, want 10", got)
+	}
+	if got := RequiredReplications(10, 3, 2); got != 23 {
+		t.Errorf("RequiredReplications(10,3,2) = %d, want 23 (ceil of 22.5)", got)
+	}
+}
+
+func TestIntervalString(t *testing.T) {
+	ci := Interval{Mean: 12.345, HalfWidth: 0.5, Confidence: 0.95, N: 10}
+	if got := ci.String(); got != "12.35 ± 0.50 (95%)" {
+		t.Errorf("String() = %q", got)
+	}
+}

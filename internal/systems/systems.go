@@ -1,0 +1,124 @@
+// Package systems provides the Table 4 instantiations of the VOODB model:
+// the O₂ page server and the Texas persistent store, exactly as the paper
+// parameterized them for its validation experiments (§4.2), plus helpers to
+// vary the cache/memory size for the Figure 8 and Figure 11 experiments.
+package systems
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// O2 returns the Table 4 "O₂" column: a page server with an infinite-speed
+// network (client co-located with the server), a 3840-page LRU cache, 6.3 /
+// 2.99 / 0.7 ms disk, MULTILVL 10, 0.5 ms lock costs, and one user. The
+// storage overhead reproduces the paper's ≈ 28 MB on-disk base for the
+// 20000-instance OCB database; the server is the paper's biprocessor.
+func O2() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.System = core.PageServer
+	cfg.NetThroughputMBps = math.Inf(1)
+	cfg.PageSize = 4096
+	cfg.BufferPages = 3840
+	cfg.BufferPolicy = "LRU"
+	cfg.Prefetch = core.NoPrefetch
+	cfg.Clustering = core.NoClustering
+	cfg.Placement = storage.OptimizedSequential
+	cfg.DiskSeekMs = 6.3
+	cfg.DiskLatencyMs = 2.99
+	cfg.DiskTransferMs = 0.7
+	cfg.MPL = 10
+	cfg.GetLockMs = 0.5
+	cfg.RelLockMs = 0.5
+	cfg.Users = 1
+	cfg.ServerCPUs = 2
+	cfg.StorageOverhead = 1.33
+	return cfg
+}
+
+// O2WithCache returns the O₂ configuration with the server cache set to
+// cacheMB megabytes (Figure 8 varies 8…64 MB). The Table 4 default cache of
+// 16 MB corresponds to 3840 pages, i.e. 240 pages per MB.
+func O2WithCache(cacheMB int) core.Config {
+	cfg := O2()
+	cfg.BufferPages = 240 * cacheMB
+	return cfg
+}
+
+// Texas returns the Table 4 "Texas" column: a centralized store (no
+// network), a 3275-page buffer under LRU, 7.4 / 4.3 / 0.5 ms disk, MULTILVL
+// 1, free locks, one user. Texas's implementation properties are switched
+// on: physical OIDs (reorganization pays the reference-fixup scan of
+// Table 6), reservation-on-load and swizzle-dirty pages (its virtual-memory
+// object loading, which drives the Figure 11 blow-up).
+func Texas() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.System = core.Centralized
+	cfg.NetThroughputMBps = math.Inf(1)
+	cfg.PageSize = 4096
+	cfg.BufferPages = texasPagesForMemory(64)
+	cfg.BufferPolicy = "LRU"
+	cfg.Prefetch = core.NoPrefetch
+	cfg.Clustering = core.NoClustering
+	cfg.Placement = storage.OptimizedSequential
+	cfg.DiskSeekMs = 7.4
+	cfg.DiskLatencyMs = 4.3
+	cfg.DiskTransferMs = 0.5
+	cfg.MPL = 1
+	cfg.GetLockMs = 0
+	cfg.RelLockMs = 0
+	cfg.Users = 1
+	cfg.ServerCPUs = 1
+	cfg.StorageOverhead = 1.05
+	cfg.PhysicalOIDs = true
+	cfg.ReserveOnLoad = true
+	cfg.ReserveCold = true
+	cfg.SwizzleDirty = true
+	return cfg
+}
+
+// TexasWithMemory returns the Texas configuration with the available main
+// memory set to memMB megabytes (Figure 11 varies 8…64 MB under Linux).
+//
+// Texas maps the store through the OS's virtual memory, so its effective
+// page pool is the machine's memory minus a fixed OS/process share (≈ 6 MB
+// under the paper's Linux 2.0.30). This rule is what reproduces the
+// paper's own measurements: at 64 MB the whole ≈ 21 MB base is resident
+// (Figures 9/10 show cold-miss-only I/O counts; Table 6's pre-clustering
+// usage equals the working set's page count), while below ≈ 24 MB the
+// reservation mechanism thrashes (Figure 11). Table 4 states BUFFSIZE =
+// 3275 pages; taken literally that would make the base non-resident at
+// 64 MB and contradict Figures 9-11, so we model the pool by this rule and
+// record the deviation in DESIGN.md.
+func TexasWithMemory(memMB int) core.Config {
+	cfg := Texas()
+	cfg.BufferPages = texasPagesForMemory(memMB)
+	return cfg
+}
+
+func texasPagesForMemory(memMB int) int {
+	pages := (memMB - 6) * 256
+	if pages < 64 {
+		pages = 64
+	}
+	return pages
+}
+
+// TexasDSTC returns the Texas configuration with the DSTC clustering module
+// installed (the §4.4 experiments).
+func TexasDSTC() core.Config {
+	cfg := Texas()
+	cfg.Clustering = core.DSTC
+	return cfg
+}
+
+// TexasLogicalOIDs returns the Texas DSTC configuration with logical OIDs —
+// the simulation-side column of Table 6, which avoids the reference-fixup
+// scan (§4.4 explains the 36× overhead discrepancy by this difference).
+func TexasLogicalOIDs() core.Config {
+	cfg := TexasDSTC()
+	cfg.PhysicalOIDs = false
+	return cfg
+}

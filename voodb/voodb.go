@@ -1,0 +1,192 @@
+// Package voodb is the public API of this VOODB reproduction: a generic
+// discrete-event random simulation model for evaluating the performance of
+// object-oriented database systems (Darmont & Schneider, VLDB 1999).
+//
+// The package re-exports the internal engine under one roof:
+//
+//   - Config / SystemClass and the Table 3 parameter set (DefaultConfig)
+//   - the O₂ and Texas instantiations of Table 4 (O2, Texas, …)
+//   - the OCB workload model and its parameters (WorkloadParams, …)
+//   - replicated experiments with Student-t confidence intervals
+//     (Experiment, DSTCExperiment)
+//   - low-level model access for custom studies (NewRun)
+//
+// A minimal study:
+//
+//	cfg := voodb.O2()
+//	params := voodb.DefaultWorkload()
+//	params.NO = 5000
+//	res, err := voodb.Experiment{
+//		Config: cfg, Params: params, Seed: 42, Replications: 100,
+//	}.Run()
+//	if err != nil { ... }
+//	fmt.Println("mean I/Os:", res.IOsCI())
+package voodb
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ocb"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/systems"
+)
+
+// Config is the VOODB parameter set (Table 3 of the paper).
+type Config = core.Config
+
+// SystemClass selects the modelled architecture (Table 3 SYSCLASS).
+type SystemClass = core.SystemClass
+
+// System classes.
+const (
+	Centralized  = core.Centralized
+	ObjectServer = core.ObjectServer
+	PageServer   = core.PageServer
+	DBServer     = core.DBServer
+)
+
+// ClusteringKind selects the Clustering Manager module (CLUSTP).
+type ClusteringKind = core.ClusteringKind
+
+// Clustering modules.
+const (
+	NoClustering = core.NoClustering
+	DSTC         = core.DSTC
+	GreedyGraph  = core.GreedyGraph
+)
+
+// PrefetchKind selects the prefetching policy (PREFETCH).
+type PrefetchKind = core.PrefetchKind
+
+// Prefetch policies.
+const (
+	NoPrefetch = core.NoPrefetch
+	OneAhead   = core.OneAhead
+)
+
+// Placement selects the initial object placement (INITPL).
+type Placement = storage.Placement
+
+// Placement policies.
+const (
+	Sequential          = storage.Sequential
+	OptimizedSequential = storage.OptimizedSequential
+)
+
+// DSTCParams tunes the DSTC clustering module.
+type DSTCParams = cluster.DSTCParams
+
+// FailureParams injects random system failures (the paper's §5 extension).
+type FailureParams = core.FailureParams
+
+// FailureStats reports injected failures.
+type FailureStats = core.FailureStats
+
+// WorkloadParams is the OCB benchmark parameter set.
+type WorkloadParams = ocb.Params
+
+// Database is a generated OCB object base.
+type Database = ocb.Database
+
+// Transaction is one OCB transaction.
+type Transaction = ocb.Transaction
+
+// Workload is a cold+hot transaction stream.
+type Workload = ocb.Workload
+
+// Run is one instantiated model (advanced use; most studies go through
+// Experiment).
+type Run = core.Run
+
+// BatchStats reports one executed batch.
+type BatchStats = core.BatchStats
+
+// Experiment is a replicated simulation study.
+type Experiment = core.Experiment
+
+// Result aggregates an Experiment.
+type Result = core.Result
+
+// DSTCExperiment is the paper's §4.4 clustering protocol.
+type DSTCExperiment = core.DSTCExperiment
+
+// DSTCResult aggregates a DSTCExperiment.
+type DSTCResult = core.DSTCResult
+
+// Interval is a Student-t confidence interval.
+type Interval = stats.Interval
+
+// Sample is a replication sample.
+type Sample = stats.Sample
+
+// DefaultConfig returns the Table 3 default column.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultWorkload returns the OCB defaults with the Table 5 workload.
+func DefaultWorkload() WorkloadParams { return ocb.DefaultParams() }
+
+// DSTCWorkload returns the §4.4 DSTC experiment profile.
+func DSTCWorkload() WorkloadParams { return ocb.DSTCExperimentParams() }
+
+// DefaultDSTCParams returns the calibrated DSTC tuning.
+func DefaultDSTCParams() DSTCParams { return cluster.DefaultDSTCParams() }
+
+// O2 returns the Table 4 O₂ configuration.
+func O2() Config { return systems.O2() }
+
+// O2WithCache returns O₂ with the given server cache in MB (Figure 8).
+func O2WithCache(cacheMB int) Config { return systems.O2WithCache(cacheMB) }
+
+// Texas returns the Table 4 Texas configuration.
+func Texas() Config { return systems.Texas() }
+
+// TexasWithMemory returns Texas with the given main memory in MB
+// (Figure 11).
+func TexasWithMemory(memMB int) Config { return systems.TexasWithMemory(memMB) }
+
+// TexasDSTC returns Texas with the DSTC module installed (§4.4).
+func TexasDSTC() Config { return systems.TexasDSTC() }
+
+// TexasLogicalOIDs returns Texas+DSTC with logical OIDs (the simulation
+// column of Table 6).
+func TexasLogicalOIDs() Config { return systems.TexasLogicalOIDs() }
+
+// GenerateDatabase builds an OCB object base.
+func GenerateDatabase(p WorkloadParams, seed uint64) (*Database, error) {
+	return ocb.Generate(p, seed)
+}
+
+// GenerateWorkload draws a cold+hot transaction stream over db.
+func GenerateWorkload(db *Database, seed uint64) *Workload {
+	return ocb.GenerateWorkload(db, seed)
+}
+
+// GenerateHierarchyWorkload draws fixed-depth hierarchy traversals (the
+// DSTC experiment's characteristic transactions).
+func GenerateHierarchyWorkload(db *Database, seed uint64, n, depth int) []Transaction {
+	return ocb.GenerateHierarchyWorkload(db, seed, n, depth)
+}
+
+// NewRun instantiates the model directly for custom protocols.
+func NewRun(cfg Config, db *Database, seed uint64) (*Run, error) {
+	return core.NewRun(cfg, db, seed)
+}
+
+// ConfidenceInterval computes a Student-t interval over a replication
+// sample (the paper's §4.2.2 output analysis).
+func ConfidenceInterval(s *Sample, confidence float64) Interval {
+	return stats.ConfidenceInterval(s, confidence)
+}
+
+// RequiredReplications applies the paper's pilot-study sizing rule
+// n* = n·(h/h*)²: the total replications needed to shrink a pilot interval
+// of half-width h to the desired half-width.
+func RequiredReplications(pilotN int, pilotHalfWidth, desiredHalfWidth float64) int {
+	return stats.RequiredReplications(pilotN, pilotHalfWidth, desiredHalfWidth)
+}
+
+// BufferPolicies lists the supported PGREP values.
+func BufferPolicies() []string {
+	return []string{"RANDOM", "FIFO", "LFU", "LRU", "LRU-2", "MRU", "CLOCK", "GCLOCK", "2Q"}
+}

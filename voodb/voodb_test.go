@@ -1,0 +1,93 @@
+package voodb_test
+
+import (
+	"testing"
+
+	"repro/voodb"
+)
+
+// The façade must support the full documented quickstart flow.
+func TestQuickstartFlow(t *testing.T) {
+	cfg := voodb.O2()
+	params := voodb.DefaultWorkload()
+	params.NC = 10
+	params.NO = 1000
+	params.HotN = 50
+	res, err := voodb.Experiment{Config: cfg, Params: params, Seed: 42, Replications: 3}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := res.IOsCI()
+	if ci.Mean <= 0 || ci.N != 3 {
+		t.Fatalf("CI: %+v", ci)
+	}
+}
+
+func TestManualRunFlow(t *testing.T) {
+	params := voodb.DefaultWorkload()
+	params.NC = 10
+	params.NO = 800
+	params.HotN = 30
+	db, err := voodb.GenerateDatabase(params, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := voodb.NewRun(voodb.Texas(), db, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := voodb.GenerateWorkload(db, 8)
+	st := run.ExecuteBatch(w.Hot)
+	if st.Transactions != 30 {
+		t.Fatalf("transactions = %d", st.Transactions)
+	}
+}
+
+func TestPresetsAndEnums(t *testing.T) {
+	if voodb.O2().System != voodb.PageServer {
+		t.Error("O2 preset wrong")
+	}
+	if voodb.Texas().System != voodb.Centralized {
+		t.Error("Texas preset wrong")
+	}
+	if voodb.TexasDSTC().Clustering != voodb.DSTC {
+		t.Error("TexasDSTC preset wrong")
+	}
+	if voodb.TexasLogicalOIDs().PhysicalOIDs {
+		t.Error("TexasLogicalOIDs preset wrong")
+	}
+	if voodb.O2WithCache(8).BufferPages >= voodb.O2WithCache(64).BufferPages {
+		t.Error("cache scaling wrong")
+	}
+	if voodb.TexasWithMemory(8).BufferPages >= voodb.TexasWithMemory(64).BufferPages {
+		t.Error("memory scaling wrong")
+	}
+	if len(voodb.BufferPolicies()) < 6 {
+		t.Error("policy list too short")
+	}
+	if voodb.DefaultDSTCParams().Validate() != nil {
+		t.Error("DSTC defaults invalid")
+	}
+	if voodb.DSTCWorkload().Validate() != nil {
+		t.Error("DSTC workload invalid")
+	}
+}
+
+func TestDSTCExperimentViaFacade(t *testing.T) {
+	params := voodb.DSTCWorkload()
+	params.NC = 10
+	params.NO = 1500
+	params.HotRootCount = 25
+	cfg := voodb.TexasLogicalOIDs()
+	cfg.BufferPages = 4096
+	res, err := voodb.DSTCExperiment{
+		Config: cfg, Params: params,
+		Transactions: 150, Depth: 3, Seed: 3, Replications: 2,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gain.Mean() <= 1 {
+		t.Fatalf("gain = %v", res.Gain.Mean())
+	}
+}
