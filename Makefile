@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test verify vet race bench
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-1 verification (see ROADMAP.md).
+verify: build test
+
+vet:
+	$(GO) vet ./...
+
+# The parallel engine and the kernel must stay race-clean.
+race:
+	$(GO) test -race ./internal/core/... ./internal/sim/...
+
+# Full benchmark gate: tier-1 verify, vet, then the benchmark suite with
+# -benchmem, emitting a BENCH_<date>.json summary (see PERFORMANCE.md).
+bench: verify vet
+	./scripts/bench.sh

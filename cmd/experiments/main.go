@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-run fig6|…|table8|all] [-reps N] [-seed S] [-csv] [-chart]
+//	experiments [-run fig6|…|table8|all] [-reps N] [-seed S] [-workers W] [-csv] [-chart]
 package main
 
 import (
@@ -21,12 +21,13 @@ func main() {
 	run := flag.String("run", "all", "experiment id (fig6…fig11, table6…table8) or 'all'")
 	reps := flag.Int("reps", 10, "replications per point (the paper used 100)")
 	seed := flag.Uint64("seed", 1999, "base random seed")
+	workers := flag.Int("workers", 0, "parallel replications per point (0 = all cores, 1 = sequential)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	chart := flag.Bool("chart", false, "draw ASCII charts for figures")
 	verbose := flag.Bool("v", false, "print per-point progress")
 	flag.Parse()
 
-	opts := experiments.Options{Replications: *reps, Seed: *seed}
+	opts := experiments.Options{Replications: *reps, Seed: *seed, Workers: *workers}
 	if *verbose {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}

@@ -44,8 +44,9 @@ func main() {
 		mtbf       = flag.Float64("failure-mtbf", 0, "mean time between failures in ms (0 = none)")
 		repair     = flag.Float64("failure-repair", 200, "mean repair time in ms")
 
-		reps = flag.Int("reps", 10, "replications")
-		seed = flag.Uint64("seed", 1999, "random seed")
+		reps    = flag.Int("reps", 10, "replications")
+		seed    = flag.Uint64("seed", 1999, "random seed")
+		workers = flag.Int("workers", 0, "parallel replications (0 = all cores, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -116,7 +117,7 @@ func main() {
 	params.WriteProb = *writeProb
 
 	res, err := voodb.Experiment{
-		Config: cfg, Params: params, Seed: *seed, Replications: *reps,
+		Config: cfg, Params: params, Seed: *seed, Replications: *reps, Workers: *workers,
 	}.Run()
 	if err != nil {
 		fatal(err)

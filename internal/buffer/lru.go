@@ -12,9 +12,13 @@ type lruK struct {
 	k     int
 	clock uint64
 
-	// K == 1 fast path.
-	list  *pageList
-	nodes map[PageID]*node
+	// K == 1 fast path: a dense page→node table (PageIDs are dense) and
+	// a recycling node arena, so steady-state operation is allocation-free
+	// and map-probe-free.
+	list     *pageList
+	nodes    []*node // indexed by PageID, grown on demand
+	freeList *node   // recycled nodes, chained through next
+	arena    []node  // chunk the next fresh nodes are handed out from
 
 	// K ≥ 2 path.
 	hist map[PageID][]uint64 // most recent first, at most k entries
@@ -39,18 +43,71 @@ func (p *lruK) Name() string {
 
 func (p *lruK) Reset() {
 	if p.k == 1 {
-		p.list = newPageList()
-		p.nodes = make(map[PageID]*node)
+		// Recycle every tracked node and clear the dense table in place so
+		// repeated resets (buffer invalidation) do not discard the arena;
+		// draining leaves the list empty and valid, so no fresh list is
+		// allocated either.
+		if p.list == nil {
+			p.list = newPageList()
+			return
+		}
+		for n := p.list.back(); n != nil; n = p.list.back() {
+			p.list.remove(n)
+			p.nodes[n.page] = nil
+			p.recycle(n)
+		}
 		return
 	}
 	p.hist = make(map[PageID][]uint64)
 }
 
+// getNode takes a node from the free list or the current arena chunk.
+func (p *lruK) getNode(pg PageID) *node {
+	if n := p.freeList; n != nil {
+		p.freeList = n.next
+		n.next = nil
+		n.page = pg
+		return n
+	}
+	if len(p.arena) == 0 {
+		p.arena = make([]node, 64)
+	}
+	n := &p.arena[0]
+	p.arena = p.arena[1:]
+	n.page = pg
+	return n
+}
+
+func (p *lruK) recycle(n *node) {
+	n.ref = 0
+	n.prev = nil
+	n.next = p.freeList
+	p.freeList = n
+}
+
+// slot returns the dense-table entry for pg, growing the table as needed.
+func (p *lruK) slot(pg PageID) **node {
+	if need := int(pg) + 1; need > len(p.nodes) {
+		if need <= cap(p.nodes) {
+			p.nodes = p.nodes[:need]
+		} else {
+			newCap := 2 * cap(p.nodes)
+			if newCap < need {
+				newCap = need
+			}
+			grown := make([]*node, need, newCap)
+			copy(grown, p.nodes)
+			p.nodes = grown
+		}
+	}
+	return &p.nodes[pg]
+}
+
 func (p *lruK) Inserted(pg PageID) {
 	p.clock++
 	if p.k == 1 {
-		n := &node{page: pg}
-		p.nodes[pg] = n
+		n := p.getNode(pg)
+		*p.slot(pg) = n
 		p.list.pushFront(n)
 		return
 	}
@@ -61,8 +118,8 @@ func (p *lruK) Inserted(pg PageID) {
 // unless it gets touched first.
 func (p *lruK) InsertedCold(pg PageID) {
 	if p.k == 1 {
-		n := &node{page: pg}
-		p.nodes[pg] = n
+		n := p.getNode(pg)
+		*p.slot(pg) = n
 		p.list.pushBack(n)
 		return
 	}
@@ -74,8 +131,8 @@ func (p *lruK) InsertedCold(pg PageID) {
 func (p *lruK) Touched(pg PageID) {
 	p.clock++
 	if p.k == 1 {
-		if n, ok := p.nodes[pg]; ok {
-			p.list.moveToFront(n)
+		if int(pg) < len(p.nodes) && p.nodes[pg] != nil {
+			p.list.moveToFront(p.nodes[pg])
 		}
 		return
 	}
@@ -99,8 +156,10 @@ func (p *lruK) Victim() PageID {
 			panic("buffer: LRU victim of empty policy")
 		}
 		p.list.remove(n)
-		delete(p.nodes, n.page)
-		return n.page
+		p.nodes[n.page] = nil
+		pg := n.page
+		p.recycle(n)
+		return pg
 	}
 	if len(p.hist) == 0 {
 		panic("buffer: LRU-K victim of empty policy")
@@ -148,9 +207,11 @@ func (p *lruK) Victim() PageID {
 
 func (p *lruK) Removed(pg PageID) {
 	if p.k == 1 {
-		if n, ok := p.nodes[pg]; ok {
+		if int(pg) < len(p.nodes) && p.nodes[pg] != nil {
+			n := p.nodes[pg]
 			p.list.remove(n)
-			delete(p.nodes, pg)
+			p.nodes[pg] = nil
+			p.recycle(n)
 		}
 		return
 	}

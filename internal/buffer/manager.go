@@ -2,13 +2,15 @@ package buffer
 
 import "fmt"
 
-// frameState distinguishes loaded pages from reserved ones. Reserved frames
-// model Texas's virtual-memory behaviour: address space (and a physical
-// frame) is claimed for a page before its content is read from disk.
+// frameState distinguishes empty frames, loaded pages, and reserved ones.
+// Reserved frames model Texas's virtual-memory behaviour: address space
+// (and a physical frame) is claimed for a page before its content is read
+// from disk.
 type frameState uint8
 
 const (
-	loaded frameState = iota
+	absent frameState = iota
+	loaded
 	reserved
 )
 
@@ -40,10 +42,16 @@ type AccessResult struct {
 
 // Manager is a fixed-capacity page buffer with a pluggable replacement
 // policy and dirty-page tracking.
+//
+// Page residency is tracked in a dense slice indexed by PageID — page
+// identifiers are dense in [0, NumPages) — so the hot path is a bounds
+// check and an array load instead of a map probe, and frames are stored by
+// value instead of one heap allocation each.
 type Manager struct {
 	capacity int
 	policy   Policy
-	frames   map[PageID]*frame
+	frames   []frame // indexed by PageID, grown on demand; absent = not resident
+	resident int
 
 	// reserveCold inserts reserved frames at the eviction end (when the
 	// policy supports it) instead of the hot end. Hot insertion models a
@@ -72,29 +80,50 @@ func New(capacity int, policy Policy) *Manager {
 	return &Manager{
 		capacity: capacity,
 		policy:   policy,
-		frames:   make(map[PageID]*frame, capacity),
 	}
+}
+
+// frameAt returns the frame entry for p, growing the table as needed. It
+// panics on a negative page (disk.None must never reach the buffer).
+func (m *Manager) frameAt(p PageID) *frame {
+	if p < 0 {
+		panic(fmt.Sprintf("buffer: negative page %d", p))
+	}
+	if need := int(p) + 1; need > len(m.frames) {
+		if need <= cap(m.frames) {
+			m.frames = m.frames[:need]
+		} else {
+			// Geometric growth keeps ascending first-touch sweeps amortized
+			// O(N) instead of reallocating on every new max page.
+			newCap := 2 * cap(m.frames)
+			if newCap < need {
+				newCap = need
+			}
+			grown := make([]frame, need, newCap)
+			copy(grown, m.frames)
+			m.frames = grown
+		}
+	}
+	return &m.frames[p]
 }
 
 // Capacity returns the frame count.
 func (m *Manager) Capacity() int { return m.capacity }
 
 // Len returns the number of resident frames (loaded + reserved).
-func (m *Manager) Len() int { return len(m.frames) }
+func (m *Manager) Len() int { return m.resident }
 
 // Policy returns the replacement policy in use.
 func (m *Manager) Policy() Policy { return m.policy }
 
 // Contains reports whether p is resident with loaded content.
 func (m *Manager) Contains(p PageID) bool {
-	f, ok := m.frames[p]
-	return ok && f.state == loaded
+	return p >= 0 && int(p) < len(m.frames) && m.frames[p].state == loaded
 }
 
 // IsReserved reports whether p has a reserved (content-less) frame.
 func (m *Manager) IsReserved(p PageID) bool {
-	f, ok := m.frames[p]
-	return ok && f.state == reserved
+	return p >= 0 && int(p) < len(m.frames) && m.frames[p].state == reserved
 }
 
 // Access requests page p, marking it dirty when write is true. On a miss a
@@ -103,7 +132,8 @@ func (m *Manager) IsReserved(p PageID) bool {
 // the disk read. Accessing a reserved frame loads it in place: a miss with
 // no eviction.
 func (m *Manager) Access(p PageID, write bool) AccessResult {
-	if f, ok := m.frames[p]; ok {
+	f := m.frameAt(p)
+	if f.state != absent {
 		m.policy.Touched(p)
 		if write {
 			f.dirty = true
@@ -119,7 +149,9 @@ func (m *Manager) Access(p PageID, write bool) AccessResult {
 	m.misses++
 	res := AccessResult{}
 	m.makeRoom(&res)
-	m.frames[p] = &frame{state: loaded, dirty: write}
+	f.state = loaded
+	f.dirty = write
+	m.resident++
 	m.policy.Inserted(p)
 	return res
 }
@@ -129,12 +161,15 @@ func (m *Manager) Access(p PageID, write bool) AccessResult {
 // victim, exactly like a miss — this is the Texas memory-pressure
 // mechanism. Insertion position follows SetReserveCold.
 func (m *Manager) Reserve(p PageID) AccessResult {
-	if _, ok := m.frames[p]; ok {
+	f := m.frameAt(p)
+	if f.state != absent {
 		return AccessResult{Hit: true}
 	}
 	res := AccessResult{}
 	m.makeRoom(&res)
-	m.frames[p] = &frame{state: reserved}
+	f.state = reserved
+	f.dirty = false
+	m.resident++
 	if ci, ok := m.policy.(ColdInserter); ok && m.reserveCold {
 		ci.InsertedCold(p)
 	} else {
@@ -144,12 +179,14 @@ func (m *Manager) Reserve(p PageID) AccessResult {
 }
 
 func (m *Manager) makeRoom(res *AccessResult) {
-	for len(m.frames) >= m.capacity {
+	for m.resident >= m.capacity {
 		v := m.policy.Victim()
-		f := m.frames[v]
-		delete(m.frames, v)
-		m.evictions++
+		f := &m.frames[v]
 		dirty := f.state == loaded && f.dirty
+		f.state = absent
+		f.dirty = false
+		m.resident--
+		m.evictions++
 		if dirty {
 			m.writebacks++
 		}
@@ -160,11 +197,10 @@ func (m *Manager) makeRoom(res *AccessResult) {
 // MarkDirty marks a resident loaded page dirty; it reports whether the page
 // was resident.
 func (m *Manager) MarkDirty(p PageID) bool {
-	f, ok := m.frames[p]
-	if !ok || f.state != loaded {
+	if !m.Contains(p) {
 		return false
 	}
-	f.dirty = true
+	m.frames[p].dirty = true
 	return true
 }
 
@@ -173,35 +209,39 @@ func (m *Manager) MarkDirty(p PageID) bool {
 // decides if the lost update matters — reorganization discards pages
 // deliberately).
 func (m *Manager) Invalidate(p PageID) (wasResident, wasDirty bool) {
-	f, ok := m.frames[p]
-	if !ok {
+	if p < 0 || int(p) >= len(m.frames) || m.frames[p].state == absent {
 		return false, false
 	}
-	delete(m.frames, p)
+	f := &m.frames[p]
+	wasDirty = f.state == loaded && f.dirty
+	f.state = absent
+	f.dirty = false
+	m.resident--
 	m.policy.Removed(p)
-	return true, f.state == loaded && f.dirty
+	return true, wasDirty
 }
 
 // InvalidateAll empties the buffer, returning the dirty pages that were
-// dropped (in unspecified order; callers sort if they care).
+// dropped (in ascending page order).
 func (m *Manager) InvalidateAll() []PageID {
 	var dirtyPages []PageID
-	for p, f := range m.frames {
-		if f.state == loaded && f.dirty {
-			dirtyPages = append(dirtyPages, p)
+	for p := range m.frames {
+		if m.frames[p].state == loaded && m.frames[p].dirty {
+			dirtyPages = append(dirtyPages, PageID(p))
 		}
+		m.frames[p] = frame{}
 	}
-	m.frames = make(map[PageID]*frame, m.capacity)
+	m.resident = 0
 	m.policy.Reset()
 	return dirtyPages
 }
 
-// DirtyPages returns the resident dirty pages (unspecified order).
+// DirtyPages returns the resident dirty pages in ascending page order.
 func (m *Manager) DirtyPages() []PageID {
 	var out []PageID
-	for p, f := range m.frames {
-		if f.state == loaded && f.dirty {
-			out = append(out, p)
+	for p := range m.frames {
+		if m.frames[p].state == loaded && m.frames[p].dirty {
+			out = append(out, PageID(p))
 		}
 	}
 	return out
@@ -209,8 +249,8 @@ func (m *Manager) DirtyPages() []PageID {
 
 // Clean clears the dirty bit of p (after a write-back).
 func (m *Manager) Clean(p PageID) {
-	if f, ok := m.frames[p]; ok {
-		f.dirty = false
+	if p >= 0 && int(p) < len(m.frames) && m.frames[p].state != absent {
+		m.frames[p].dirty = false
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/ocb"
+	"repro/internal/rng"
 	"repro/internal/stats"
 )
 
@@ -38,6 +39,10 @@ type Experiment struct {
 	Replications int
 	// Confidence is the CI level (default 0.95 when zero).
 	Confidence float64
+	// Workers bounds how many replications run concurrently: 0 (the
+	// default) uses all available cores, 1 forces the sequential engine.
+	// Results are bit-identical for every worker count.
+	Workers int
 }
 
 func (e Experiment) confidence() float64 {
@@ -47,9 +52,53 @@ func (e Experiment) confidence() float64 {
 	return e.Confidence
 }
 
-// Run executes the experiment: each replication generates a fresh object
-// base and workload from replication-specific seeds, builds a fresh model,
-// plays the cold run unmeasured and the hot run measured.
+// repSeed derives the replication's seed through the SplitMix64 substream
+// construction, so adjacent experiment seeds cannot collide with adjacent
+// replication indices (as the old additive e.Seed + rep·const scheme
+// could).
+func repSeed(seed uint64, rep int) uint64 {
+	return rng.SubSeed(seed, uint64(rep))
+}
+
+// repRow carries one replication's metrics back to the fold. Keeping rows
+// as plain values lets the parallel runner store them by replication index
+// and fold in order, which makes the aggregate bit-identical to the
+// sequential engine.
+type repRow struct {
+	ios, reads, writes   float64
+	hitRatio, respMs, tp float64
+}
+
+// runRep executes one replication: generate a fresh object base and
+// workload from replication-specific seeds, build a fresh model, play the
+// cold run unmeasured and the hot run measured.
+func (e Experiment) runRep(rep int) (repRow, error) {
+	seed := repSeed(e.Seed, rep)
+	db, err := ocb.Generate(e.Params, seed)
+	if err != nil {
+		return repRow{}, err
+	}
+	run, err := NewRun(e.Config, db, seed)
+	if err != nil {
+		return repRow{}, err
+	}
+	w := ocb.GenerateWorkload(db, seed+1)
+	if len(w.Cold) > 0 {
+		run.ExecuteBatch(w.Cold)
+	}
+	st := run.ExecuteBatch(w.Hot)
+	return repRow{
+		ios:      float64(st.IOs),
+		reads:    float64(st.Reads),
+		writes:   float64(st.Writes),
+		hitRatio: st.HitRatio,
+		respMs:   st.MeanRespMs,
+		tp:       st.ThroughputTPS,
+	}, nil
+}
+
+// Run executes the experiment's replications — in parallel across Workers
+// goroutines — and folds the per-replication metrics in replication order.
 func (e Experiment) Run() (*Result, error) {
 	if e.Replications < 1 {
 		return nil, fmt.Errorf("core: Replications = %d", e.Replications)
@@ -57,28 +106,18 @@ func (e Experiment) Run() (*Result, error) {
 	if err := e.Params.Validate(); err != nil {
 		return nil, err
 	}
+	rows, err := runReplications(e.Replications, e.Workers, e.runRep)
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{Confidence: e.confidence()}
-	for rep := 0; rep < e.Replications; rep++ {
-		repSeed := e.Seed + uint64(rep)*0x9e3779b9
-		db, err := ocb.Generate(e.Params, repSeed)
-		if err != nil {
-			return nil, err
-		}
-		run, err := NewRun(e.Config, db, repSeed)
-		if err != nil {
-			return nil, err
-		}
-		w := ocb.GenerateWorkload(db, repSeed+1)
-		if len(w.Cold) > 0 {
-			run.ExecuteBatch(w.Cold)
-		}
-		st := run.ExecuteBatch(w.Hot)
-		res.IOs.Add(float64(st.IOs))
-		res.Reads.Add(float64(st.Reads))
-		res.Writes.Add(float64(st.Writes))
-		res.HitRatio.Add(st.HitRatio)
-		res.RespMs.Add(st.MeanRespMs)
-		res.Throughput.Add(st.ThroughputTPS)
+	for i := range rows {
+		res.IOs.Add(rows[i].ios)
+		res.Reads.Add(rows[i].reads)
+		res.Writes.Add(rows[i].writes)
+		res.HitRatio.Add(rows[i].hitRatio)
+		res.RespMs.Add(rows[i].respMs)
+		res.Throughput.Add(rows[i].tp)
 	}
 	return res, nil
 }
@@ -110,9 +149,50 @@ type DSTCExperiment struct {
 	Seed         uint64
 	Replications int
 	Confidence   float64
+	// Workers bounds how many replications run concurrently: 0 (the
+	// default) uses all available cores, 1 forces the sequential engine.
+	Workers int
 }
 
-// Run executes the DSTC experiment.
+// dstcRow carries one replication's §4.4 metrics back to the fold.
+type dstcRow struct {
+	pre, overhead, post float64
+	gain                float64
+	hasGain             bool
+	clusters, objPer    float64
+}
+
+func (e DSTCExperiment) runRep(rep int) (dstcRow, error) {
+	seed := repSeed(e.Seed, rep)
+	db, err := ocb.Generate(e.Params, seed)
+	if err != nil {
+		return dstcRow{}, err
+	}
+	run, err := NewRun(e.Config, db, seed)
+	if err != nil {
+		return dstcRow{}, err
+	}
+	pre := run.ExecuteBatch(ocb.GenerateHierarchyWorkload(db, seed+1, e.Transactions, e.Depth))
+	run.PerformClustering(func() {})
+	run.sim.Run() // drain the reorganization's scheduled I/O
+	reorg := run.LastReorgReport()
+	post := run.ExecuteBatch(ocb.GenerateHierarchyWorkload(db, seed+2, e.Transactions, e.Depth))
+
+	row := dstcRow{
+		pre:      float64(pre.IOs),
+		overhead: float64(reorg.IOs()),
+		post:     float64(post.IOs),
+		clusters: float64(reorg.Summary.Clusters),
+		objPer:   reorg.Summary.MeanObjPerClus,
+	}
+	if post.IOs > 0 {
+		row.gain = float64(pre.IOs) / float64(post.IOs)
+		row.hasGain = true
+	}
+	return row, nil
+}
+
+// Run executes the DSTC experiment, parallelized like Experiment.Run.
 func (e DSTCExperiment) Run() (*DSTCResult, error) {
 	if e.Replications < 1 {
 		return nil, fmt.Errorf("core: Replications = %d", e.Replications)
@@ -124,31 +204,20 @@ func (e DSTCExperiment) Run() (*DSTCResult, error) {
 	if conf == 0 {
 		conf = 0.95
 	}
+	rows, err := runReplications(e.Replications, e.Workers, e.runRep)
+	if err != nil {
+		return nil, err
+	}
 	res := &DSTCResult{Confidence: conf}
-	for rep := 0; rep < e.Replications; rep++ {
-		repSeed := e.Seed + uint64(rep)*0x9e3779b9
-		db, err := ocb.Generate(e.Params, repSeed)
-		if err != nil {
-			return nil, err
+	for i := range rows {
+		res.PreIOs.Add(rows[i].pre)
+		res.OverheadIOs.Add(rows[i].overhead)
+		res.PostIOs.Add(rows[i].post)
+		if rows[i].hasGain {
+			res.Gain.Add(rows[i].gain)
 		}
-		run, err := NewRun(e.Config, db, repSeed)
-		if err != nil {
-			return nil, err
-		}
-		pre := run.ExecuteBatch(ocb.GenerateHierarchyWorkload(db, repSeed+1, e.Transactions, e.Depth))
-		run.PerformClustering(func() {})
-		run.sim.Run() // drain the reorganization's scheduled I/O
-		reorg := run.LastReorgReport()
-		post := run.ExecuteBatch(ocb.GenerateHierarchyWorkload(db, repSeed+2, e.Transactions, e.Depth))
-
-		res.PreIOs.Add(float64(pre.IOs))
-		res.OverheadIOs.Add(float64(reorg.IOs()))
-		res.PostIOs.Add(float64(post.IOs))
-		if post.IOs > 0 {
-			res.Gain.Add(float64(pre.IOs) / float64(post.IOs))
-		}
-		res.Clusters.Add(float64(reorg.Summary.Clusters))
-		res.ObjPerClus.Add(reorg.Summary.MeanObjPerClus)
+		res.Clusters.Add(rows[i].clusters)
+		res.ObjPerClus.Add(rows[i].objPer)
 	}
 	return res, nil
 }

@@ -52,7 +52,7 @@ type failureInjector struct {
 	// the event calendar can drain.
 	workRemaining func() bool
 
-	pending *sim.Event
+	pending sim.Event
 	stats   FailureStats
 }
 
@@ -69,18 +69,17 @@ func (f *failureInjector) arm() {
 	f.pending = f.r.sim.Schedule(delay, f.strike)
 }
 
-// disarm cancels any pending hazard (end of batch).
+// disarm cancels any pending hazard (end of batch). Cancelling a stale or
+// zero handle is a kernel no-op, so no liveness check is needed.
 func (f *failureInjector) disarm() {
-	if f.pending != nil {
-		f.r.sim.Cancel(f.pending)
-		f.pending = nil
-	}
+	f.r.sim.Cancel(f.pending)
+	f.pending = sim.Event{}
 }
 
 // strike is one failure: the buffer content is lost and the disk is held
 // for the repair duration, stalling every queued I/O behind the recovery.
 func (f *failureInjector) strike() {
-	f.pending = nil
+	f.pending = sim.Event{}
 	if f.workRemaining == nil || !f.workRemaining() {
 		return
 	}

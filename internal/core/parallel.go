@@ -1,0 +1,79 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// resolveWorkers maps the user-facing Workers knob to an effective worker
+// count: ≤ 0 means "all available cores", and there is never a point in
+// running more workers than replications.
+func resolveWorkers(workers, reps int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > reps {
+		workers = reps
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// runReplications executes body(rep) for every replication index in
+// [0, reps) on up to workers goroutines and returns the per-replication
+// rows indexed by replication number.
+//
+// Replications are embarrassingly parallel by construction — each derives
+// its own random streams from its replication index and builds a fresh
+// model — so the only sources of nondeterminism a parallel engine could
+// introduce are aggregation order and error selection. Both are pinned
+// here: rows land in a preallocated slice at their replication index and
+// the caller folds them in index order, and when several replications fail
+// the lowest replication index wins, matching what the sequential loop
+// would have reported. Results are therefore bit-identical for any worker
+// count.
+//
+// workers == 1 runs the legacy sequential path in the calling goroutine
+// (and, like the pre-parallel engine, stops at the first error instead of
+// finishing the remaining replications).
+func runReplications[T any](reps, workers int, body func(rep int) (T, error)) ([]T, error) {
+	rows := make([]T, reps)
+	workers = resolveWorkers(workers, reps)
+	if workers == 1 {
+		for rep := 0; rep < reps; rep++ {
+			row, err := body(rep)
+			if err != nil {
+				return nil, err
+			}
+			rows[rep] = row
+		}
+		return rows, nil
+	}
+
+	errs := make([]error, reps)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				rep := int(next.Add(1)) - 1
+				if rep >= reps {
+					return
+				}
+				rows[rep], errs[rep] = body(rep)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}

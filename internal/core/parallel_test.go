@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ocb"
+)
+
+// TestParallelMatchesSequential is the determinism contract of the
+// parallel engine: any worker count must produce a Result bit-identical to
+// the sequential path. Result contains only scalar fields, so struct
+// equality is an exact bit-for-bit comparison of every Welford
+// accumulator.
+func TestParallelMatchesSequential(t *testing.T) {
+	base := Experiment{Config: smallConfig(), Params: smallParams(), Seed: 101, Replications: 8}
+	seq := base
+	seq.Workers = 1
+	want, err := seq.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 8, 64} {
+		par := base
+		par.Workers = workers
+		got, err := par.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *got != *want {
+			t.Fatalf("Workers=%d diverged from sequential:\n%+v\n%+v", workers, *got, *want)
+		}
+	}
+}
+
+// TestParallelDSTCMatchesSequential is the same contract for the §4.4
+// protocol engine.
+func TestParallelDSTCMatchesSequential(t *testing.T) {
+	p := ocb.DSTCExperimentParams()
+	p.NC = 10
+	p.NO = 1500
+	p.HotRootCount = 25
+	cfg := smallConfig()
+	cfg.BufferPages = 4096
+	cfg.Clustering = DSTC
+	base := DSTCExperiment{Config: cfg, Params: p, Transactions: 100, Depth: 3, Seed: 71, Replications: 4}
+	seq := base
+	seq.Workers = 1
+	want, err := seq.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := base
+	par.Workers = 4
+	got, err := par.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *want {
+		t.Fatalf("parallel DSTC diverged from sequential:\n%+v\n%+v", *got, *want)
+	}
+}
+
+// TestResolveWorkers pins the knob semantics: ≤0 is "all cores", never
+// more workers than replications, never less than one.
+func TestResolveWorkers(t *testing.T) {
+	if got := resolveWorkers(1, 100); got != 1 {
+		t.Errorf("resolveWorkers(1, 100) = %d", got)
+	}
+	if got := resolveWorkers(16, 4); got != 4 {
+		t.Errorf("resolveWorkers(16, 4) = %d", got)
+	}
+	if got := resolveWorkers(0, 100); got < 1 {
+		t.Errorf("resolveWorkers(0, 100) = %d", got)
+	}
+	if got := resolveWorkers(-3, 1); got != 1 {
+		t.Errorf("resolveWorkers(-3, 1) = %d", got)
+	}
+}
+
+// TestParallelErrorReporting: when replications fail, the reported error
+// must not depend on goroutine scheduling — the lowest replication index
+// wins.
+func TestParallelErrorReporting(t *testing.T) {
+	bad := Experiment{Config: smallConfig(), Params: smallParams(), Seed: 1, Replications: 6, Workers: 4}
+	bad.Config.BufferPages = 0 // NewRun fails identically in every replication
+	if _, err := bad.Run(); err == nil {
+		t.Fatal("invalid config accepted by parallel engine")
+	}
+}

@@ -65,6 +65,10 @@ type Options struct {
 	Replications int
 	// Seed anchors all random streams.
 	Seed uint64
+	// Workers bounds how many replications run concurrently per point:
+	// 0 uses all available cores, 1 forces the sequential engine. Results
+	// are bit-identical for every worker count.
+	Workers int
 	// Progress, when non-nil, receives one line per completed point.
 	Progress func(string)
 }
@@ -100,6 +104,7 @@ func instanceSweep(id, title string, cfg core.Config, nc int, ref paper.Series, 
 			Params:       table5Params(nc, no),
 			Seed:         o.Seed + uint64(no),
 			Replications: o.reps(),
+			Workers:      o.Workers,
 		}
 		res, err := e.Run()
 		if err != nil {
@@ -121,6 +126,7 @@ func memorySweep(id, title string, mkCfg func(mb int) core.Config, ref paper.Ser
 			Params:       table5Params(50, 20000),
 			Seed:         o.Seed + uint64(mb),
 			Replications: o.reps(),
+			Workers:      o.Workers,
 		}
 		res, err := e.Run()
 		if err != nil {
@@ -181,6 +187,7 @@ func runDSTC(cfg core.Config, memMB int, o Options) (*core.DSTCResult, error) {
 		Depth:        3,
 		Seed:         o.Seed,
 		Replications: o.reps(),
+		Workers:      o.Workers,
 	}
 	return e.Run()
 }

@@ -3,6 +3,9 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/core"
+	"repro/internal/systems"
 )
 
 func TestNamesCoverEveryTableAndFigure(t *testing.T) {
@@ -45,6 +48,34 @@ func TestOptionsDefaults(t *testing.T) {
 	}
 	// nil Progress must not panic.
 	(Options{}).progress("x")
+}
+
+// TestFig6PointParallelDeterminism runs the first Figure 6 point (O₂, 20
+// classes, NO = 500) with the sequential and the parallel engine and
+// demands bit-identical IOs samples — the regression gate for the parallel
+// replication runner on a real figure configuration.
+func TestFig6PointParallelDeterminism(t *testing.T) {
+	run := func(workers int) *core.Result {
+		e := core.Experiment{
+			Config:       systems.O2(),
+			Params:       table5Params(20, 500),
+			Seed:         1999 + 500, // instanceSweep's o.Seed + NO
+			Replications: 4,
+			Workers:      workers,
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq, par := run(1), run(8)
+	if seq.IOs != par.IOs {
+		t.Fatalf("fig6 IOs sample diverged between Workers=1 and Workers=8:\n%+v\n%+v", seq.IOs, par.IOs)
+	}
+	if *seq != *par {
+		t.Fatalf("fig6 result diverged between Workers=1 and Workers=8:\n%+v\n%+v", *seq, *par)
+	}
 }
 
 // TestTable7EndToEnd runs the cheapest full experiment once; the heavier

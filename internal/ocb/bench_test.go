@@ -1,0 +1,20 @@
+package ocb
+
+import "testing"
+
+// BenchmarkOCBGenerate tracks the cost (time and allocations) of building
+// one mid-size object base — the dominant per-replication setup cost. The
+// Refs and ByClass arenas keep allocs/op near-constant in NO instead of
+// linear.
+func BenchmarkOCBGenerate(b *testing.B) {
+	p := DefaultParams()
+	p.NC = 20
+	p.NO = 5000
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(p, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -86,12 +86,18 @@ func Generate(p Params, seed uint64) (*Database, error) {
 	}
 
 	// --- instances ---
+	// ByClass is carved out of one backing arena: a first pass assigns
+	// classes (consuming the object stream exactly as before) and counts
+	// instances per class, then each class's slice is sized into the arena
+	// and filled in OID order — the same content the old per-class appends
+	// produced, without NC growing slices.
 	db.Objects = make([]Object, p.NO)
 	db.ByClass = make([][]OID, p.NC)
 	var objClassZipf *rng.Zipf
 	if p.ObjClassDist == Zipf {
 		objClassZipf = rng.NewZipf(objSrc, p.NC, p.ZipfTheta)
 	}
+	counts := make([]int, p.NC)
 	for o := 0; o < p.NO; o++ {
 		var cls int
 		if o < p.NC {
@@ -105,6 +111,16 @@ func Generate(p Params, seed uint64) (*Database, error) {
 			Class: int32(cls),
 			Size:  int32(db.Classes[cls].InstanceSize),
 		}
+		counts[cls]++
+	}
+	byClassArena := make([]OID, p.NO)
+	off := 0
+	for c := range db.ByClass {
+		db.ByClass[c] = byClassArena[off : off : off+counts[c]]
+		off += counts[c]
+	}
+	for o := range db.Objects {
+		cls := db.Objects[o].Class
 		db.ByClass[cls] = append(db.ByClass[cls], OID(o))
 	}
 
@@ -119,10 +135,20 @@ func Generate(p Params, seed uint64) (*Database, error) {
 	}
 
 	// --- object references ---
+	// All Refs slices share one backing arena allocated in a single shot
+	// (full capacity slice expressions keep neighbouring objects from
+	// appending into each other).
+	totalRefs := 0
+	for o := range db.Objects {
+		totalRefs += len(db.Classes[db.Objects[o].Class].Refs)
+	}
+	refArena := make([]OID, totalRefs)
+	off = 0
 	for o := range db.Objects {
 		obj := &db.Objects[o]
 		refs := db.Classes[obj.Class].Refs
-		obj.Refs = make([]OID, len(refs))
+		obj.Refs = refArena[off : off+len(refs) : off+len(refs)]
+		off += len(refs)
 		myRank := rankWithin(db.ByClass[obj.Class], OID(o))
 		for r, cr := range refs {
 			obj.Refs[r] = pickInstance(refSrc, p, db.ByClass[cr.Target], myRank, OID(o))

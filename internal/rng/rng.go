@@ -43,14 +43,25 @@ func New(seed uint64) *Source {
 	return &r
 }
 
+// SubSeed derives the idx-th child seed of seed: the 64-bit seed whose
+// stream NewStream(seed, idx) produces. Exposing the derivation lets
+// callers that need a plain seed — e.g. the replication engine, which
+// hands each replication its own seed for further splitting — use the same
+// well-mixed SplitMix64 construction instead of ad-hoc arithmetic on the
+// parent seed (additive schemes let adjacent experiment seeds collide with
+// adjacent child indices).
+func SubSeed(seed uint64, idx uint64) uint64 {
+	x := seed
+	base := splitMix64(&x)
+	y := base + 0x632be59bd9b4e019*(idx+1)
+	return splitMix64(&y)
+}
+
 // NewStream derives the idx-th substream of seed. Substreams with different
 // (seed, idx) pairs are independent; this is how each replication and each
 // model component gets its own stream.
 func NewStream(seed uint64, idx uint64) *Source {
-	x := seed
-	base := splitMix64(&x)
-	y := base + 0x632be59bd9b4e019*(idx+1)
-	return New(splitMix64(&y))
+	return New(SubSeed(seed, idx))
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

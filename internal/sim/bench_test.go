@@ -1,0 +1,38 @@
+package sim
+
+import "testing"
+
+// BenchmarkScheduleStep measures the steady-state cost of one
+// schedule-then-execute cycle: the kernel's innermost loop. With the slot
+// arena this must run at 0 allocs/op.
+func BenchmarkScheduleStep(b *testing.B) {
+	s := New()
+	action := func() {}
+	// Prime a realistic calendar depth so heap operations are not trivial.
+	for i := 0; i < 64; i++ {
+		s.Schedule(float64(i), action)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(1, action)
+		s.Step()
+	}
+}
+
+// BenchmarkScheduleCancel measures schedule-then-cancel, the path lock
+// timeouts and failure injectors exercise. Also 0 allocs/op in steady
+// state.
+func BenchmarkScheduleCancel(b *testing.B) {
+	s := New()
+	action := func() {}
+	for i := 0; i < 64; i++ {
+		s.Schedule(float64(i), action)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := s.Schedule(1, action)
+		s.Cancel(e)
+	}
+}

@@ -10,6 +10,13 @@
 // The kernel is strictly deterministic: events with equal timestamps fire
 // in the order they were scheduled, and nothing in the kernel depends on
 // map iteration order or wall-clock time.
+//
+// The event calendar is allocation-free in steady state: events live in a
+// slot arena recycled through a free list, and the calendar heap orders
+// slot indices rather than pointers. Schedule returns a small value handle
+// (Event) carrying a generation counter, so cancelling a stale handle —
+// one whose event already fired, was already cancelled, or whose slot has
+// since been recycled — is always safe and a no-op.
 package sim
 
 import (
@@ -21,29 +28,65 @@ import (
 // uses milliseconds throughout.
 type Time = float64
 
-// Event is a scheduled activity. It is returned by Schedule so the caller
-// may cancel it before it fires.
+// Event is a handle to a scheduled activity, returned by Schedule so the
+// caller may cancel it before it fires. It is a small value (safe to copy
+// and compare); the zero Event is inert — cancelling it is a no-op.
+//
+// Handles are generation-counted: once the underlying calendar slot is
+// recycled for a newer event, operations through the stale handle do
+// nothing rather than touching the new occupant.
 type Event struct {
-	time     Time
-	seq      uint64
-	index    int // heap index, -1 once fired or cancelled
-	action   func()
-	canceled bool
+	s    *Simulation
+	time Time
+	slot int32
+	gen  uint32
 }
 
 // Time returns the simulated time at which the event fires (or would have
 // fired, if cancelled).
-func (e *Event) Time() Time { return e.time }
+func (e Event) Time() Time { return e.time }
 
-// Cancelled reports whether Cancel was called on the event.
-func (e *Event) Cancelled() bool { return e.canceled }
+// Cancelled reports whether Cancel was called on the event. Once the
+// event's slot has been recycled for a newer event the history is gone and
+// Cancelled reports false.
+func (e Event) Cancelled() bool {
+	if e.s == nil {
+		return false
+	}
+	return e.s.events[e.slot].gen == e.gen+1
+}
+
+// Pending reports whether the event is still waiting in the calendar.
+func (e Event) Pending() bool {
+	if e.s == nil {
+		return false
+	}
+	slot := &e.s.events[e.slot]
+	return slot.gen == e.gen && slot.heapIdx >= 0
+}
+
+// eventSlot is one arena entry. Live slots (heapIdx ≥ 0) hold an even
+// generation; cancellation bumps the generation to odd, execution bumps it
+// by two, and allocation normalizes it back to even — so a handle's
+// generation identifies at most one occupancy of the slot, and a
+// just-cancelled slot is distinguishable (gen == handle.gen+1) from a
+// fired one (gen == handle.gen+2) until the slot is reused.
+type eventSlot struct {
+	time    Time
+	seq     uint64
+	action  func()
+	heapIdx int32 // index into Simulation.heap, -1 once fired or cancelled
+	gen     uint32
+}
 
 // Simulation is a discrete-event simulation: an event calendar and a clock.
 // The zero value is not usable; call New.
 type Simulation struct {
-	now  Time
-	heap []*Event
-	seq  uint64
+	now    Time
+	events []eventSlot // slot arena; recycled via free
+	free   []int32     // free slot indices (LIFO)
+	heap   []int32     // binary min-heap of slot indices, ordered by (time, seq)
+	seq    uint64
 
 	scheduled uint64
 	executed  uint64
@@ -75,7 +118,7 @@ func (s *Simulation) Executed() uint64 { return s.executed }
 // Schedule registers action to run after delay units of simulated time.
 // It panics if delay is negative or NaN, or if action is nil: both are
 // model bugs that must not be silently absorbed.
-func (s *Simulation) Schedule(delay Time, action func()) *Event {
+func (s *Simulation) Schedule(delay Time, action func()) Event {
 	if math.IsNaN(delay) || delay < 0 {
 		panic(fmt.Sprintf("sim: Schedule with invalid delay %v", delay))
 	}
@@ -84,44 +127,75 @@ func (s *Simulation) Schedule(delay Time, action func()) *Event {
 
 // ScheduleAt registers action to run at absolute simulated time t.
 // It panics if t is in the past or action is nil.
-func (s *Simulation) ScheduleAt(t Time, action func()) *Event {
+func (s *Simulation) ScheduleAt(t Time, action func()) Event {
 	if action == nil {
 		panic("sim: ScheduleAt with nil action")
 	}
 	if math.IsNaN(t) || t < s.now {
 		panic(fmt.Sprintf("sim: ScheduleAt %v before now %v", t, s.now))
 	}
-	e := &Event{time: t, seq: s.seq, action: action}
+	idx := s.alloc()
+	slot := &s.events[idx]
+	slot.time = t
+	slot.seq = s.seq
+	slot.action = action
 	s.seq++
 	s.scheduled++
-	s.push(e)
-	return e
+	s.heapPush(idx)
+	return Event{s: s, time: t, slot: idx, gen: slot.gen}
+}
+
+// alloc takes a slot from the free list (normalizing a cancelled slot's odd
+// generation back to even) or extends the arena.
+func (s *Simulation) alloc() int32 {
+	if n := len(s.free); n > 0 {
+		idx := s.free[n-1]
+		s.free = s.free[:n-1]
+		if s.events[idx].gen&1 != 0 {
+			s.events[idx].gen++
+		}
+		return idx
+	}
+	s.events = append(s.events, eventSlot{heapIdx: -1})
+	return int32(len(s.events) - 1)
 }
 
 // Cancel removes the event from the calendar if it has not fired yet.
-// Cancelling an already-fired or already-cancelled event is a no-op.
-func (s *Simulation) Cancel(e *Event) {
-	if e == nil || e.canceled || e.index < 0 {
+// Cancelling a zero, already-fired, already-cancelled, or recycled handle
+// is a no-op.
+func (s *Simulation) Cancel(e Event) {
+	if e.s != s || s == nil {
 		return
 	}
-	e.canceled = true
-	s.remove(e)
+	slot := &s.events[e.slot]
+	if slot.gen != e.gen || slot.heapIdx < 0 {
+		return
+	}
+	s.heapRemove(slot.heapIdx)
+	slot.action = nil
+	slot.gen++ // odd: cancelled
+	s.free = append(s.free, e.slot)
 	s.cancelled++
 }
 
 // Step executes the single next event. It returns false when the calendar
 // is empty.
 func (s *Simulation) Step() bool {
-	e := s.pop()
-	if e == nil {
+	if len(s.heap) == 0 {
 		return false
 	}
-	s.now = e.time
+	idx := s.heapPop()
+	slot := &s.events[idx]
+	s.now = slot.time
+	action := slot.action
+	slot.action = nil
+	slot.gen += 2 // stays even: fired
+	s.free = append(s.free, idx)
 	s.executed++
 	if s.Trace != nil {
 		s.Trace(s.now)
 	}
-	e.action()
+	action()
 	return true
 }
 
@@ -134,11 +208,7 @@ func (s *Simulation) Run() {
 // RunUntil executes events whose time is ≤ horizon, then advances the clock
 // to horizon. Events scheduled beyond the horizon remain in the calendar.
 func (s *Simulation) RunUntil(horizon Time) {
-	for {
-		e := s.peek()
-		if e == nil || e.time > horizon {
-			break
-		}
+	for len(s.heap) > 0 && s.events[s.heap[0]].time <= horizon {
 		s.Step()
 	}
 	if s.now < horizon {
@@ -149,10 +219,10 @@ func (s *Simulation) RunUntil(horizon Time) {
 // RunFor executes events for d units of simulated time from now.
 func (s *Simulation) RunFor(d Time) { s.RunUntil(s.now + d) }
 
-// --- event calendar: binary min-heap ordered by (time, seq) ---
+// --- event calendar: binary min-heap of slot indices, ordered (time, seq) ---
 
 func (s *Simulation) less(i, j int) bool {
-	a, b := s.heap[i], s.heap[j]
+	a, b := &s.events[s.heap[i]], &s.events[s.heap[j]]
 	if a.time != b.time {
 		return a.time < b.time
 	}
@@ -161,53 +231,40 @@ func (s *Simulation) less(i, j int) bool {
 
 func (s *Simulation) swap(i, j int) {
 	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
-	s.heap[i].index = i
-	s.heap[j].index = j
+	s.events[s.heap[i]].heapIdx = int32(i)
+	s.events[s.heap[j]].heapIdx = int32(j)
 }
 
-func (s *Simulation) push(e *Event) {
-	e.index = len(s.heap)
-	s.heap = append(s.heap, e)
-	s.up(e.index)
+func (s *Simulation) heapPush(idx int32) {
+	s.events[idx].heapIdx = int32(len(s.heap))
+	s.heap = append(s.heap, idx)
+	s.up(len(s.heap) - 1)
 }
 
-func (s *Simulation) peek() *Event {
-	if len(s.heap) == 0 {
-		return nil
-	}
-	return s.heap[0]
-}
-
-func (s *Simulation) pop() *Event {
-	if len(s.heap) == 0 {
-		return nil
-	}
-	e := s.heap[0]
+// heapPop removes and returns the root slot index.
+func (s *Simulation) heapPop() int32 {
+	idx := s.heap[0]
 	last := len(s.heap) - 1
 	s.swap(0, last)
-	s.heap[last] = nil
 	s.heap = s.heap[:last]
 	if last > 0 {
 		s.down(0)
 	}
-	e.index = -1
-	return e
+	s.events[idx].heapIdx = -1
+	return idx
 }
 
-func (s *Simulation) remove(e *Event) {
-	i := e.index
-	if i < 0 || i >= len(s.heap) || s.heap[i] != e {
-		return
-	}
+// heapRemove removes the slot at heap position i.
+func (s *Simulation) heapRemove(i int32) {
+	idx := s.heap[i]
 	last := len(s.heap) - 1
-	s.swap(i, last)
-	s.heap[last] = nil
+	s.swap(int(i), last)
 	s.heap = s.heap[:last]
-	if i < last {
-		s.down(i)
-		s.up(i)
+	if int(i) < last {
+		s.down(int(i))
+		s.up(int(i))
 	}
-	e.index = -1
+	s.events[idx].heapIdx = -1
 }
 
 func (s *Simulation) up(i int) {

@@ -93,15 +93,15 @@ func TestCancel(t *testing.T) {
 	if !e.Cancelled() {
 		t.Fatal("Cancelled() = false after Cancel")
 	}
-	// Cancelling twice, or cancelling nil, must be harmless.
+	// Cancelling twice, or cancelling a zero handle, must be harmless.
 	s.Cancel(e)
-	s.Cancel(nil)
+	s.Cancel(Event{})
 }
 
 func TestCancelMiddleOfHeap(t *testing.T) {
 	s := New()
 	var got []int
-	var events []*Event
+	var events []Event
 	for i := 0; i < 50; i++ {
 		i := i
 		events = append(events, s.Schedule(float64(i), func() { got = append(got, i) }))
@@ -209,9 +209,9 @@ func TestPropertyScheduleCancelStress(t *testing.T) {
 	r := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 20; trial++ {
 		s := New()
-		live := make(map[*Event]bool)
+		live := make(map[Event]bool)
 		fired := 0
-		var all []*Event
+		var all []Event
 		for i := 0; i < 500; i++ {
 			e := s.Schedule(r.Float64()*100, func() { fired++ })
 			live[e] = true

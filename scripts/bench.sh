@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# bench.sh — run the kernel microbenchmarks and the headline figure
+# benchmark with -benchmem and write a BENCH_<date>.json summary, so
+# successive PRs accumulate a comparable performance trajectory.
+#
+# Usage: scripts/bench.sh [output.json]
+#   FIG_BENCHTIME=3x scripts/bench.sh   # more figure iterations
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_$(date +%Y-%m-%d).json}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+{
+  go test -run '^$' -bench 'BenchmarkScheduleStep|BenchmarkScheduleCancel|BenchmarkScheduleRun' -benchmem ./internal/sim/
+  go test -run '^$' -bench 'BenchmarkOCBGenerate' -benchmem ./internal/ocb/
+  go test -run '^$' -bench 'BenchmarkFig6' -benchtime "${FIG_BENCHTIME:-1x}" -benchmem .
+} | tee "$TMP"
+
+awk -v date="$(date +%Y-%m-%d)" \
+    -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    -v cores="$(nproc 2>/dev/null || echo unknown)" '
+/^Benchmark/ {
+  name = $1; sub(/-[0-9]+$/, "", name)
+  iters = $2; ns = $3
+  bop = ""; aop = ""; ios = ""
+  for (i = 4; i <= NF; i++) {
+    if ($(i) == "B/op") bop = $(i - 1)
+    else if ($(i) == "allocs/op") aop = $(i - 1)
+    else if ($(i) == "ios/point" || $(i) == "headline") ios = $(i - 1)
+  }
+  line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
+  if (bop != "") line = line sprintf(", \"bytes_per_op\": %s", bop)
+  if (aop != "") line = line sprintf(", \"allocs_per_op\": %s", aop)
+  if (ios != "") line = line sprintf(", \"ios_per_point\": %s", ios)
+  lines[n++] = line "}"
+}
+END {
+  printf "{\n  \"date\": \"%s\",\n  \"commit\": \"%s\",\n  \"cores\": \"%s\",\n  \"benchmarks\": [\n", date, commit, cores
+  for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n - 1 ? "," : "")
+  printf "  ]\n}\n"
+}' "$TMP" > "$OUT"
+
+echo "wrote $OUT"

@@ -8,7 +8,8 @@
 //   - the O₂ and Texas instantiations of Table 4 (O2, Texas, …)
 //   - the OCB workload model and its parameters (WorkloadParams, …)
 //   - replicated experiments with Student-t confidence intervals
-//     (Experiment, DSTCExperiment)
+//     (Experiment, DSTCExperiment), run in parallel across cores with
+//     bit-identical results (the Workers field; 1 forces sequential)
 //   - low-level model access for custom studies (NewRun)
 //
 // A minimal study:
