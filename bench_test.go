@@ -8,6 +8,8 @@ package repro_bench
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 	"testing"
 
 	"repro/internal/experiments"
@@ -17,8 +19,16 @@ import (
 
 const benchReps = 2
 
+// opts returns the benchmark experiment options. FIG_WORKERS (used by
+// scripts/bench.sh) overrides the replication worker count so the
+// trajectory JSON can distinguish sequential from parallel points; results
+// are bit-identical either way.
 func opts() experiments.Options {
-	return experiments.Options{Replications: benchReps, Seed: 1999}
+	o := experiments.Options{Replications: benchReps, Seed: 1999}
+	if w, err := strconv.Atoi(os.Getenv("FIG_WORKERS")); err == nil && w >= 0 {
+		o.Workers = w
+	}
+	return o
 }
 
 func benchFigure(b *testing.B, id string, ref paper.Series) {

@@ -36,7 +36,9 @@ type AccessResult struct {
 	// allocated and nothing was evicted.
 	WasReserved bool
 	// Evicted holds the pages pushed out to make room (at most one for
-	// Access; Reserve can also evict at most one).
+	// Access; Reserve can also evict at most one). It aliases a scratch
+	// buffer owned by the Manager that the next Access or Reserve call
+	// overwrites — consume or copy it before touching the buffer again.
 	Evicted []Eviction
 }
 
@@ -63,6 +65,10 @@ type Manager struct {
 	misses     uint64
 	evictions  uint64
 	writebacks uint64
+
+	// evScratch backs AccessResult.Evicted, recycled across calls so an
+	// eviction costs no allocation.
+	evScratch []Eviction
 }
 
 // SetReserveCold selects cold insertion for reserved frames.
@@ -179,6 +185,7 @@ func (m *Manager) Reserve(p PageID) AccessResult {
 }
 
 func (m *Manager) makeRoom(res *AccessResult) {
+	m.evScratch = m.evScratch[:0]
 	for m.resident >= m.capacity {
 		v := m.policy.Victim()
 		f := &m.frames[v]
@@ -190,8 +197,9 @@ func (m *Manager) makeRoom(res *AccessResult) {
 		if dirty {
 			m.writebacks++
 		}
-		res.Evicted = append(res.Evicted, Eviction{Page: v, Dirty: dirty})
+		m.evScratch = append(m.evScratch, Eviction{Page: v, Dirty: dirty})
 	}
+	res.Evicted = m.evScratch
 }
 
 // MarkDirty marks a resident loaded page dirty; it reports whether the page

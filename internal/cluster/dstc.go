@@ -72,14 +72,20 @@ func (k linkKey) split() (a, b ocb.OID) {
 type DSTC struct {
 	params DSTCParams
 
-	// Period statistics (observation phase).
-	periodUsage map[ocb.OID]int
-	periodLinks map[linkKey]int
-	periodTx    int
+	// Period statistics (observation phase). Usage counts live in a dense
+	// slice indexed by OID (grown on demand) plus a touched list for
+	// iteration, so a period boundary zeroes only what was used instead of
+	// reallocating maps; the sparse link counts reuse one map, cleared in
+	// place.
+	periodUsage   []int32
+	periodTouched []ocb.OID
+	periodLinks   map[linkKey]int
+	periodTx      int
 
-	// Consolidated statistics.
-	usage map[ocb.OID]int
-	links map[linkKey]int
+	// Consolidated statistics, same layout.
+	usage        []int32
+	usageTouched []ocb.OID
+	links        map[linkKey]int
 
 	observedTx uint64
 	builds     int
@@ -102,19 +108,55 @@ func (d *DSTC) Name() string { return "DSTC" }
 // Params returns the tuning in effect.
 func (d *DSTC) Params() DSTCParams { return d.params }
 
-// Reset drops all statistics.
+// Reset drops all statistics, keeping the recycled backing storage.
 func (d *DSTC) Reset() {
-	d.periodUsage = make(map[ocb.OID]int)
-	d.periodLinks = make(map[linkKey]int)
+	for _, o := range d.periodTouched {
+		d.periodUsage[o] = 0
+	}
+	d.periodTouched = d.periodTouched[:0]
+	for _, o := range d.usageTouched {
+		d.usage[o] = 0
+	}
+	d.usageTouched = d.usageTouched[:0]
+	if d.periodLinks == nil {
+		d.periodLinks = make(map[linkKey]int)
+		d.links = make(map[linkKey]int)
+	} else {
+		clear(d.periodLinks)
+		clear(d.links)
+	}
 	d.periodTx = 0
-	d.usage = make(map[ocb.OID]int)
-	d.links = make(map[linkKey]int)
+}
+
+// grow extends a dense counter slice so index o is addressable. Elements
+// past the old length are zero: they are either freshly allocated or were
+// zeroed by the touched-list sweep before the length last shrank (it never
+// does — lengths only grow).
+func grow(counts []int32, o ocb.OID) []int32 {
+	need := int(o) + 1
+	if need <= len(counts) {
+		return counts
+	}
+	if need <= cap(counts) {
+		return counts[:need]
+	}
+	newCap := 2 * cap(counts)
+	if newCap < need {
+		newCap = need
+	}
+	grown := make([]int32, need, newCap)
+	copy(grown, counts)
+	return grown
 }
 
 // Observe records one access and, when prev is valid, the transition link
 // prev → o. Links are direction-insensitive at clustering time but stored
 // directed (cheaper, and the merge happens once per build).
 func (d *DSTC) Observe(o, prev ocb.OID, _ bool) {
+	d.periodUsage = grow(d.periodUsage, o)
+	if d.periodUsage[o] == 0 {
+		d.periodTouched = append(d.periodTouched, o)
+	}
 	d.periodUsage[o]++
 	if prev != ocb.NilRef && prev != o {
 		d.periodLinks[mkLink(prev, o)]++
@@ -132,14 +174,19 @@ func (d *DSTC) EndTransaction() {
 }
 
 func (d *DSTC) consolidate() {
-	for o, c := range d.periodUsage {
-		d.usage[o] += c
+	for _, o := range d.periodTouched {
+		d.usage = grow(d.usage, o)
+		if d.usage[o] == 0 {
+			d.usageTouched = append(d.usageTouched, o)
+		}
+		d.usage[o] += d.periodUsage[o]
+		d.periodUsage[o] = 0
 	}
+	d.periodTouched = d.periodTouched[:0]
 	for k, c := range d.periodLinks {
 		d.links[k] += c
 	}
-	d.periodUsage = make(map[ocb.OID]int)
-	d.periodLinks = make(map[linkKey]int)
+	clear(d.periodLinks)
 	d.periodTx = 0
 }
 
@@ -153,8 +200,8 @@ func (d *DSTC) ShouldTrigger() bool {
 		return false
 	}
 	candidates := 0
-	for _, c := range d.usage {
-		if c >= d.params.MinUsage {
+	for _, o := range d.usageTouched {
+		if int(d.usage[o]) >= d.params.MinUsage {
 			candidates++
 			if candidates >= d.params.TriggerCandidates {
 				return true
@@ -162,6 +209,14 @@ func (d *DSTC) ShouldTrigger() bool {
 		}
 	}
 	return false
+}
+
+// usageOf returns the consolidated access count of o.
+func (d *DSTC) usageOf(o ocb.OID) int {
+	if int(o) >= len(d.usage) {
+		return 0
+	}
+	return int(d.usage[o])
 }
 
 // weightedLink is an undirected, filtered link.
@@ -193,7 +248,7 @@ func (d *DSTC) BuildClusters() [][]ocb.OID {
 		if w < d.params.MinLink {
 			continue
 		}
-		if d.usage[a] < d.params.MinUsage || d.usage[b] < d.params.MinUsage {
+		if d.usageOf(a) < d.params.MinUsage || d.usageOf(b) < d.params.MinUsage {
 			continue
 		}
 		links = append(links, weightedLink{a: a, b: b, weight: w})

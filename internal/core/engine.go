@@ -87,6 +87,7 @@ func (e Experiment) runRep(rep int) (repRow, error) {
 		run.ExecuteBatch(w.Cold)
 	}
 	st := run.ExecuteBatch(w.Hot)
+	w.Release()
 	return repRow{
 		ios:      float64(st.IOs),
 		reads:    float64(st.Reads),

@@ -37,6 +37,10 @@ type Run struct {
 	clusterer cluster.Policy
 	failures  *failureInjector
 
+	// execPool recycles transaction executors (LIFO), so steady-state
+	// transaction execution performs no per-transaction allocation.
+	execPool []*txnExec
+
 	// Counters (see also the substrate models' own counters).
 	txDone      uint64
 	txAborted   uint64
@@ -208,6 +212,10 @@ func (r *Run) ExecuteBatch(txs []ocb.Transaction) BatchStats {
 
 	next := 0
 	var user func()
+	// thinkThenNext is the commit continuation of every transaction,
+	// hoisted out of the user loop so submission allocates nothing per
+	// transaction.
+	thinkThenNext := func() { r.after(r.cfg.ThinkTimeMs, user) }
 	user = func() {
 		if next >= len(txs) {
 			return
@@ -220,9 +228,7 @@ func (r *Run) ExecuteBatch(txs []ocb.Transaction) BatchStats {
 		}
 		tx := &txs[next]
 		next++
-		r.submit(tx, func() {
-			r.after(r.cfg.ThinkTimeMs, user)
-		})
+		r.submit(tx, thinkThenNext)
 	}
 	users := r.cfg.Users
 	if users > len(txs) {

@@ -8,11 +8,20 @@
 // those outcomes into simulated time. The paper's validation workloads are
 // read-only, so conflicts never arise there, but the substrate is complete
 // so that write mixes and MULTILVL > 1 behave correctly.
+//
+// The table is allocation-free in steady state, following the DESP-C++
+// discipline of recycling rather than reallocating: each transaction's
+// held locks live in a dense list recycled through a free list (no
+// per-transaction maps), lock-table entries carry a small inline holder
+// array (most items have at most two holders under wait-die) and are
+// themselves recycled, and End visits only the items the transaction ever
+// queued on instead of sweeping the whole table.
 package lock
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Mode is a lock mode.
@@ -47,16 +56,154 @@ type request struct {
 	died    func()
 }
 
+// holderSlot records one holder of an item.
+type holderSlot struct {
+	tx   TxID
+	mode Mode
+}
+
+// inlineHolders is the number of holders an entry stores without spilling
+// to the overflow slice. Under wait-die most items have ≤ 2 holders.
+const inlineHolders = 2
+
+// entry is the per-item lock state: holders (inline array plus overflow)
+// and a FIFO queue of waiting requests. Entries are recycled through the
+// Manager's pool when their item becomes idle.
 type entry struct {
-	holders map[TxID]Mode
-	queue   []request
+	inline   [inlineHolders]holderSlot
+	nInline  int32
+	overflow []holderSlot
+	queue    []request
+}
+
+// numHolders returns the number of transactions holding the item.
+func (e *entry) numHolders() int { return int(e.nInline) + len(e.overflow) }
+
+// findHolder returns the mode tx holds, and whether tx is a holder.
+func (e *entry) findHolder(tx TxID) (Mode, bool) {
+	for i := int32(0); i < e.nInline; i++ {
+		if e.inline[i].tx == tx {
+			return e.inline[i].mode, true
+		}
+	}
+	for i := range e.overflow {
+		if e.overflow[i].tx == tx {
+			return e.overflow[i].mode, true
+		}
+	}
+	return Shared, false
+}
+
+// setHolder records tx as holding in mode, updating an existing slot or
+// appending a new one (inline first, spilling to overflow).
+func (e *entry) setHolder(tx TxID, mode Mode) {
+	for i := int32(0); i < e.nInline; i++ {
+		if e.inline[i].tx == tx {
+			e.inline[i].mode = mode
+			return
+		}
+	}
+	for i := range e.overflow {
+		if e.overflow[i].tx == tx {
+			e.overflow[i].mode = mode
+			return
+		}
+	}
+	if e.nInline < inlineHolders {
+		e.inline[e.nInline] = holderSlot{tx: tx, mode: mode}
+		e.nInline++
+		return
+	}
+	e.overflow = append(e.overflow, holderSlot{tx: tx, mode: mode})
+}
+
+// delHolder removes tx from the holders if present. Holder order is not
+// observable (compatibility and wait-die checks are order-independent), so
+// the hole is filled by the last slot.
+func (e *entry) delHolder(tx TxID) {
+	for i := int32(0); i < e.nInline; i++ {
+		if e.inline[i].tx != tx {
+			continue
+		}
+		if n := len(e.overflow); n > 0 {
+			e.inline[i] = e.overflow[n-1]
+			e.overflow = e.overflow[:n-1]
+		} else {
+			e.nInline--
+			e.inline[i] = e.inline[e.nInline]
+		}
+		return
+	}
+	for i := range e.overflow {
+		if e.overflow[i].tx == tx {
+			n := len(e.overflow)
+			e.overflow[i] = e.overflow[n-1]
+			e.overflow = e.overflow[:n-1]
+			return
+		}
+	}
+}
+
+// anyExclusiveHolder reports whether any holder is exclusive.
+func (e *entry) anyExclusiveHolder() bool {
+	for i := int32(0); i < e.nInline; i++ {
+		if e.inline[i].mode == Exclusive {
+			return true
+		}
+	}
+	for i := range e.overflow {
+		if e.overflow[i].mode == Exclusive {
+			return true
+		}
+	}
+	return false
+}
+
+// anyOlderHolder reports whether some other holder began before tx.
+func (e *entry) anyOlderHolder(tx TxID) bool {
+	for i := int32(0); i < e.nInline; i++ {
+		if h := e.inline[i].tx; h != tx && h < tx {
+			return true
+		}
+	}
+	for i := range e.overflow {
+		if h := e.overflow[i].tx; h != tx && h < tx {
+			return true
+		}
+	}
+	return false
+}
+
+// reset clears the entry for reuse, keeping slice capacity.
+func (e *entry) reset() {
+	e.nInline = 0
+	e.overflow = e.overflow[:0]
+	e.queue = e.queue[:0]
+}
+
+// heldLock is one item a transaction holds.
+type heldLock struct {
+	item Item
+	mode Mode
+}
+
+// txRec is a transaction's dense lock state: the distinct items it holds
+// (append order; sorted at release) and the items it ever queued on, so
+// End can purge abandoned requests without sweeping the whole table.
+// Records are recycled through the Manager's pool.
+type txRec struct {
+	locks []heldLock
+	waits []Item
 }
 
 // Manager is the lock table.
 type Manager struct {
 	nextTx TxID
 	table  map[Item]*entry
-	held   map[TxID]map[Item]Mode
+	txns   map[TxID]*txRec
+
+	entryPool []*entry
+	recPool   []*txRec
 
 	acquisitions uint64
 	waits        uint64
@@ -67,8 +214,22 @@ type Manager struct {
 func NewManager() *Manager {
 	return &Manager{
 		table: make(map[Item]*entry),
-		held:  make(map[TxID]map[Item]Mode),
+		txns:  make(map[TxID]*txRec),
 	}
+}
+
+func (m *Manager) getEntry() *entry {
+	if n := len(m.entryPool); n > 0 {
+		e := m.entryPool[n-1]
+		m.entryPool = m.entryPool[:n-1]
+		return e
+	}
+	return &entry{}
+}
+
+func (m *Manager) putEntry(e *entry) {
+	e.reset()
+	m.entryPool = append(m.entryPool, e)
 }
 
 // Begin registers a new transaction and returns its ID; IDs are assigned in
@@ -76,18 +237,55 @@ func NewManager() *Manager {
 func (m *Manager) Begin() TxID {
 	m.nextTx++
 	tx := m.nextTx
-	m.held[tx] = make(map[Item]Mode)
+	var rec *txRec
+	if n := len(m.recPool); n > 0 {
+		rec = m.recPool[n-1]
+		m.recPool = m.recPool[:n-1]
+	} else {
+		rec = &txRec{}
+	}
+	rec.locks = rec.locks[:0]
+	rec.waits = rec.waits[:0]
+	m.txns[tx] = rec
 	return tx
 }
 
 // Holds returns the mode tx holds on item, and whether it holds it at all.
 func (m *Manager) Holds(tx TxID, item Item) (Mode, bool) {
-	mode, ok := m.held[tx][item]
-	return mode, ok
+	rec := m.txns[tx]
+	if rec == nil {
+		return Shared, false
+	}
+	for i := range rec.locks {
+		if rec.locks[i].item == item {
+			return rec.locks[i].mode, true
+		}
+	}
+	return Shared, false
 }
 
 // HeldCount returns the number of items tx currently holds.
-func (m *Manager) HeldCount(tx TxID) int { return len(m.held[tx]) }
+func (m *Manager) HeldCount(tx TxID) int {
+	rec := m.txns[tx]
+	if rec == nil {
+		return 0
+	}
+	return len(rec.locks)
+}
+
+// updateHeld records item/mode in tx's held list, updating an existing
+// entry or appending. Fresh grants (where the caller knows tx does not
+// hold item) append directly instead; this path serves upgrades and
+// queued grants, which are rare.
+func (rec *txRec) updateHeld(item Item, mode Mode) {
+	for i := range rec.locks {
+		if rec.locks[i].item == item {
+			rec.locks[i].mode = mode
+			return
+		}
+	}
+	rec.locks = append(rec.locks, heldLock{item: item, mode: mode})
+}
 
 // Acquire requests item in the given mode for tx. Exactly one of granted or
 // died is invoked — possibly immediately (before Acquire returns), or later
@@ -97,26 +295,34 @@ func (m *Manager) Acquire(tx TxID, item Item, mode Mode, granted, died func()) {
 	if granted == nil || died == nil {
 		panic("lock: Acquire with nil callback")
 	}
-	if _, ok := m.held[tx]; !ok {
+	rec := m.txns[tx]
+	if rec == nil {
 		panic(fmt.Sprintf("lock: Acquire by unknown transaction %d", tx))
 	}
 	e := m.table[item]
 	if e == nil {
-		e = &entry{holders: make(map[TxID]Mode)}
+		// A fresh entry has no holders and no queue: the request is
+		// always granted immediately.
+		e = m.getEntry()
 		m.table[item] = e
+		e.setHolder(tx, mode)
+		rec.locks = append(rec.locks, heldLock{item: item, mode: mode})
+		m.acquisitions++
+		granted()
+		return
 	}
 
 	// Re-entrant cases.
-	if have, ok := e.holders[tx]; ok {
+	if have, ok := e.findHolder(tx); ok {
 		if have == Exclusive || mode == Shared {
 			m.acquisitions++
 			granted()
 			return
 		}
 		// Upgrade S → X: immediate if sole holder.
-		if len(e.holders) == 1 {
-			e.holders[tx] = Exclusive
-			m.held[tx][item] = Exclusive
+		if e.numHolders() == 1 {
+			e.setHolder(tx, Exclusive)
+			rec.updateHeld(item, Exclusive)
 			m.acquisitions++
 			granted()
 			return
@@ -130,12 +336,13 @@ func (m *Manager) Acquire(tx TxID, item Item, mode Mode, granted, died func()) {
 		}
 		m.waits++
 		e.queue = append(e.queue, request{tx: tx, mode: Exclusive, granted: granted, died: died})
+		rec.waits = append(rec.waits, item)
 		return
 	}
 
 	if m.compatible(e, tx, mode) && len(e.queue) == 0 {
-		e.holders[tx] = mode
-		m.held[tx][item] = mode
+		e.setHolder(tx, mode)
+		rec.locks = append(rec.locks, heldLock{item: item, mode: mode})
 		m.acquisitions++
 		granted()
 		return
@@ -151,23 +358,19 @@ func (m *Manager) Acquire(tx TxID, item Item, mode Mode, granted, died func()) {
 	}
 	m.waits++
 	e.queue = append(e.queue, request{tx: tx, mode: mode, granted: granted, died: died})
+	rec.waits = append(rec.waits, item)
 }
 
 // compatible reports whether tx may take item in mode alongside the current
 // holders.
-func (m *Manager) compatible(e *entry, tx TxID, mode Mode) bool {
-	if len(e.holders) == 0 {
+func (m *Manager) compatible(e *entry, _ TxID, mode Mode) bool {
+	if e.numHolders() == 0 {
 		return true
 	}
 	if mode == Exclusive {
 		return false
 	}
-	for _, hm := range e.holders {
-		if hm == Exclusive {
-			return false
-		}
-	}
-	return true
+	return !e.anyExclusiveHolder()
 }
 
 // youngerThanAnyBlocker reports whether tx began after at least one
@@ -178,12 +381,11 @@ func (m *Manager) compatible(e *entry, tx TxID, mode Mode) bool {
 // wait-for edge point old→young and rules out cycles — the wait-die
 // guarantee, extended to FIFO queues.
 func (m *Manager) youngerThanAnyBlocker(e *entry, tx TxID, mode Mode) bool {
-	for holder := range e.holders {
-		if holder != tx && holder < tx {
-			return true
-		}
+	if e.anyOlderHolder(tx) {
+		return true
 	}
-	for _, r := range e.queue {
+	for i := range e.queue {
+		r := &e.queue[i]
 		if r.tx == tx || r.tx >= tx {
 			continue
 		}
@@ -199,27 +401,34 @@ func (m *Manager) youngerThanAnyBlocker(e *entry, tx TxID, mode Mode) bool {
 // Items are released in sorted order so the dispatch sequence — and hence
 // the whole simulation — is deterministic.
 func (m *Manager) ReleaseAll(tx TxID) {
-	held := m.held[tx]
-	items := make([]Item, 0, len(held))
-	for item := range held {
-		items = append(items, item)
+	rec := m.txns[tx]
+	if rec == nil {
+		return
 	}
-	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
-	for _, item := range items {
+	sortHeldLocks(rec.locks)
+	for i := range rec.locks {
+		item := rec.locks[i].item
 		e := m.table[item]
-		delete(e.holders, tx)
+		e.delHolder(tx)
 		m.dispatch(item, e)
 	}
-	m.held[tx] = make(map[Item]Mode)
+	rec.locks = rec.locks[:0]
 }
 
 // End forgets a finished transaction entirely. Any locks still held are
 // released first; queued requests from tx are abandoned (they would never
-// be answered otherwise).
+// be answered otherwise). Only the items tx ever queued on are visited.
 func (m *Manager) End(tx TxID) {
 	m.ReleaseAll(tx)
-	delete(m.held, tx)
-	for item, e := range m.table {
+	rec := m.txns[tx]
+	if rec == nil {
+		return
+	}
+	for _, item := range rec.waits {
+		e := m.table[item]
+		if e == nil {
+			continue
+		}
 		filtered := e.queue[:0]
 		for _, r := range e.queue {
 			if r.tx != tx {
@@ -227,10 +436,15 @@ func (m *Manager) End(tx TxID) {
 			}
 		}
 		e.queue = filtered
-		if len(e.holders) == 0 && len(e.queue) == 0 {
+		if e.numHolders() == 0 && len(e.queue) == 0 {
 			delete(m.table, item)
+			m.putEntry(e)
 		}
 	}
+	delete(m.txns, tx)
+	rec.locks = rec.locks[:0]
+	rec.waits = rec.waits[:0]
+	m.recPool = append(m.recPool, rec)
 }
 
 // dispatch grants queued compatible requests at the head of item's queue.
@@ -240,26 +454,44 @@ func (m *Manager) dispatch(item Item, e *entry) {
 		if !m.compatible(e, head.tx, head.mode) {
 			// An upgrade request whose owner is now the sole holder can
 			// proceed even though "compatible" says no.
-			if have, ok := e.holders[head.tx]; ok && have == Shared &&
-				head.mode == Exclusive && len(e.holders) == 1 {
-				e.queue = e.queue[1:]
-				e.holders[head.tx] = Exclusive
-				m.held[head.tx][item] = Exclusive
+			if have, ok := e.findHolder(head.tx); ok && have == Shared &&
+				head.mode == Exclusive && e.numHolders() == 1 {
+				e.popHead()
+				e.setHolder(head.tx, Exclusive)
+				m.txns[head.tx].updateHeld(item, Exclusive)
 				m.acquisitions++
 				head.granted()
 				continue
 			}
 			return
 		}
-		e.queue = e.queue[1:]
-		e.holders[head.tx] = head.mode
-		m.held[head.tx][item] = head.mode
+		e.popHead()
+		e.setHolder(head.tx, head.mode)
+		m.txns[head.tx].updateHeld(item, head.mode)
 		m.acquisitions++
 		head.granted()
 	}
-	if len(e.holders) == 0 && len(e.queue) == 0 {
+	if e.numHolders() == 0 && len(e.queue) == 0 {
 		delete(m.table, item)
+		m.putEntry(e)
 	}
+}
+
+// popHead removes the head request, compacting in place so the queue's
+// backing array survives entry recycling.
+func (e *entry) popHead() {
+	copy(e.queue, e.queue[1:])
+	e.queue[len(e.queue)-1] = request{}
+	e.queue = e.queue[:len(e.queue)-1]
+}
+
+// sortHeldLocks orders locks ascending by item without allocating
+// (slices.SortFunc is generic, unlike sort.Slice's reflection swapper).
+// Items are distinct, so the unstable sort is deterministic.
+func sortHeldLocks(a []heldLock) {
+	slices.SortFunc(a, func(x, y heldLock) int {
+		return cmp.Compare(x.item, y.item)
+	})
 }
 
 // Acquisitions returns the number of granted requests.

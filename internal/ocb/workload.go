@@ -1,6 +1,10 @@
 package ocb
 
-import "repro/internal/rng"
+import (
+	"sync"
+
+	"repro/internal/rng"
+)
 
 // Op is one object access within a transaction.
 type Op struct {
@@ -19,6 +23,60 @@ type Transaction struct {
 	Ops  []Op
 }
 
+// opBlockLen is the capacity of one pooled Op block (~0.5 MiB). Workload
+// op sequences are carved out of such blocks instead of one allocation per
+// transaction.
+const opBlockLen = 1 << 15
+
+// opBlockPool recycles Op blocks across workloads (and, under the parallel
+// replication engine, across goroutines — sync.Pool is safe for that).
+var opBlockPool = sync.Pool{New: func() any {
+	s := make([]Op, 0, opBlockLen)
+	return &s
+}}
+
+// opArena carves transaction op sequences out of pooled blocks, so a
+// workload's per-transaction slices cost no allocation in steady state and
+// are returned to the pool in one release.
+type opArena struct {
+	blocks []*[]Op
+}
+
+// place copies ops into the arena and returns the stable, full-capacity
+// slice. Sequences longer than a block get a dedicated (unpooled) copy.
+func (a *opArena) place(ops []Op) []Op {
+	n := len(ops)
+	if n == 0 {
+		return nil
+	}
+	if n > opBlockLen {
+		out := make([]Op, n)
+		copy(out, ops)
+		return out
+	}
+	var cur *[]Op
+	if len(a.blocks) > 0 {
+		cur = a.blocks[len(a.blocks)-1]
+	}
+	if cur == nil || len(*cur)+n > cap(*cur) {
+		nb := opBlockPool.Get().(*[]Op)
+		*nb = (*nb)[:0]
+		a.blocks = append(a.blocks, nb)
+		cur = nb
+	}
+	off := len(*cur)
+	*cur = append(*cur, ops...)
+	return (*cur)[off : off+n : off+n]
+}
+
+// release returns every block to the pool.
+func (a *opArena) release() {
+	for _, b := range a.blocks {
+		opBlockPool.Put(b)
+	}
+	a.blocks = nil
+}
+
 // Generator draws OCB transactions over a database. It is deterministic
 // for a given (database, seed).
 type Generator struct {
@@ -32,6 +90,12 @@ type Generator struct {
 	// epoch trick avoids clearing 20000 entries per transaction.
 	visited []int
 	epoch   int
+
+	// scratch accumulates the current transaction's ops; frontA/frontB
+	// are the breadth-first frontiers. All are reused across transactions.
+	scratch []Op
+	frontA  []OID
+	frontB  []OID
 }
 
 // NewGenerator returns a workload generator for db using the database's
@@ -58,23 +122,33 @@ func NewGenerator(db *Database, seed uint64) *Generator {
 	return g
 }
 
-// Next generates the next transaction.
+// Next generates the next transaction. The returned ops are freshly
+// allocated and owned by the caller; workload-scale generation goes
+// through nextInto and an arena instead.
 func (g *Generator) Next() Transaction {
+	return g.nextInto(nil)
+}
+
+// nextInto generates the next transaction, placing its ops in a (if non
+// nil) or in a fresh exact-size slice.
+func (g *Generator) nextInto(a *opArena) Transaction {
 	p := g.db.Params
 	tt := TxType(g.typeDist.Next())
 	root := g.pickRoot()
 	tx := Transaction{ID: g.next, Type: tt, Root: root}
 	g.next++
+	g.scratch = g.scratch[:0]
 	switch tt {
 	case SetAccess:
-		tx.Ops = g.breadthFirst(root, p.SetDepth)
+		g.breadthFirst(root, p.SetDepth)
 	case SimpleTraversal:
-		tx.Ops = g.depthFirst(root, p.SimDepth, false)
+		g.depthFirst(root, p.SimDepth, false)
 	case HierarchyTraversal:
-		tx.Ops = g.depthFirst(root, p.HieDepth, true)
+		g.depthFirst(root, p.HieDepth, true)
 	case StochasticTraversal:
-		tx.Ops = g.stochastic(root, p.StoDepth)
+		g.stochastic(root, p.StoDepth)
 	}
+	tx.Ops = g.commitOps(a)
 	return tx
 }
 
@@ -82,11 +156,31 @@ func (g *Generator) Next() Transaction {
 // the probability mix — used by the DSTC experiment, which runs "very
 // characteristic transactions (namely, depth-3 hierarchy traversals)".
 func (g *Generator) Hierarchy(depth int) Transaction {
+	return g.hierarchyInto(nil, depth)
+}
+
+func (g *Generator) hierarchyInto(a *opArena, depth int) Transaction {
 	root := g.pickRoot()
 	tx := Transaction{ID: g.next, Type: HierarchyTraversal, Root: root}
 	g.next++
-	tx.Ops = g.depthFirst(root, depth, true)
+	g.scratch = g.scratch[:0]
+	g.depthFirst(root, depth, true)
+	tx.Ops = g.commitOps(a)
 	return tx
+}
+
+// commitOps moves the scratch ops into the arena, or copies them into an
+// exact-size slice when the transaction is caller-owned.
+func (g *Generator) commitOps(a *opArena) []Op {
+	if a != nil {
+		return a.place(g.scratch)
+	}
+	if len(g.scratch) == 0 {
+		return nil
+	}
+	out := make([]Op, len(g.scratch))
+	copy(out, g.scratch)
+	return out
 }
 
 func (g *Generator) pickRoot() OID {
@@ -115,64 +209,64 @@ func (g *Generator) op(o OID) Op {
 }
 
 // breadthFirst visits every object reachable within depth levels, level by
-// level (the set-oriented access).
-func (g *Generator) breadthFirst(root OID, depth int) []Op {
+// level (the set-oriented access), appending to the scratch ops.
+func (g *Generator) breadthFirst(root OID, depth int) {
 	g.beginVisit()
-	ops := []Op{g.op(root)}
+	g.scratch = append(g.scratch, g.op(root))
 	g.mark(root)
-	frontier := []OID{root}
+	frontier := append(g.frontA[:0], root)
+	next := g.frontB[:0]
 	for level := 0; level < depth && len(frontier) > 0; level++ {
-		var next []OID
+		next = next[:0]
 		for _, o := range frontier {
 			for _, t := range g.db.Objects[o].Refs {
 				if t == NilRef || g.seen(t) {
 					continue
 				}
 				g.mark(t)
-				ops = append(ops, g.op(t))
+				g.scratch = append(g.scratch, g.op(t))
 				next = append(next, t)
 			}
 		}
-		frontier = next
+		frontier, next = next, frontier
 	}
-	return ops
+	// Keep whatever grew, whichever role the buffers ended in.
+	g.frontA, g.frontB = frontier, next
 }
 
 // depthFirst visits references in declaration order, preorder, down to
-// depth levels. When hierarchyOnly is set, only type-0 references are
-// followed (the hierarchy traversal).
-func (g *Generator) depthFirst(root OID, depth int, hierarchyOnly bool) []Op {
+// depth levels, appending to the scratch ops. When hierarchyOnly is set,
+// only type-0 references are followed (the hierarchy traversal).
+func (g *Generator) depthFirst(root OID, depth int, hierarchyOnly bool) {
 	g.beginVisit()
-	var ops []Op
-	var walk func(o OID, remaining int)
-	walk = func(o OID, remaining int) {
-		g.mark(o)
-		ops = append(ops, g.op(o))
-		if remaining == 0 {
-			return
-		}
-		obj := &g.db.Objects[o]
-		classRefs := g.db.Classes[obj.Class].Refs
-		for r, t := range obj.Refs {
-			if t == NilRef || g.seen(t) {
-				continue
-			}
-			if hierarchyOnly && classRefs[r].Type != 0 {
-				continue
-			}
-			walk(t, remaining-1)
-		}
+	g.dfWalk(root, depth, hierarchyOnly)
+}
+
+func (g *Generator) dfWalk(o OID, remaining int, hierarchyOnly bool) {
+	g.mark(o)
+	g.scratch = append(g.scratch, g.op(o))
+	if remaining == 0 {
+		return
 	}
-	walk(root, depth)
-	return ops
+	obj := &g.db.Objects[o]
+	classRefs := g.db.Classes[obj.Class].Refs
+	for r, t := range obj.Refs {
+		if t == NilRef || g.seen(t) {
+			continue
+		}
+		if hierarchyOnly && classRefs[r].Type != 0 {
+			continue
+		}
+		g.dfWalk(t, remaining-1, hierarchyOnly)
+	}
 }
 
 // stochastic takes depth steps, each following one uniformly chosen
 // reference of the current object; it stops early at a sink. Objects may
 // repeat across steps (only consecutive self-loops are impossible by
 // construction); each arrival is an access.
-func (g *Generator) stochastic(root OID, depth int) []Op {
-	ops := []Op{g.op(root)}
+func (g *Generator) stochastic(root OID, depth int) {
+	g.scratch = append(g.scratch, g.op(root))
 	cur := root
 	for step := 0; step < depth; step++ {
 		refs := g.db.Objects[cur].Refs
@@ -197,16 +291,26 @@ func (g *Generator) stochastic(root OID, depth int) []Op {
 			}
 			k--
 		}
-		ops = append(ops, g.op(cur))
+		g.scratch = append(g.scratch, g.op(cur))
 	}
-	return ops
 }
 
 // Workload pre-generates the full transaction stream of a replication:
-// ColdN unmeasured transactions followed by HotN measured ones.
+// ColdN unmeasured transactions followed by HotN measured ones. The op
+// sequences live in pooled arena blocks; call Release when the workload
+// has been executed to recycle them.
 type Workload struct {
 	Cold []Transaction
 	Hot  []Transaction
+
+	arena opArena
+}
+
+// Release returns the workload's op storage to the shared pool. The
+// transactions (and their Ops slices) must not be used afterwards.
+func (w *Workload) Release() {
+	w.Cold, w.Hot = nil, nil
+	w.arena.release()
 }
 
 // GenerateWorkload draws the complete stream for one replication.
@@ -217,10 +321,10 @@ func GenerateWorkload(db *Database, seed uint64) *Workload {
 		Hot:  make([]Transaction, db.Params.HotN),
 	}
 	for i := range w.Cold {
-		w.Cold[i] = g.Next()
+		w.Cold[i] = g.nextInto(&w.arena)
 	}
 	for i := range w.Hot {
-		w.Hot[i] = g.Next()
+		w.Hot[i] = g.nextInto(&w.arena)
 	}
 	return w
 }

@@ -119,6 +119,7 @@ func (s *Store) Reorganize(clusters [][]ocb.OID) ReorgStats {
 	}
 	s.numPages = len(s.pageObjs)
 	s.refCache = make(map[disk.PageID][]disk.PageID)
+	s.ensureVisited()
 	s.reorgs++
 
 	// Cost accounting: pages read = distinct old pages of moved objects;

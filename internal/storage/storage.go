@@ -13,7 +13,7 @@ package storage
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/disk"
 	"repro/internal/ocb"
@@ -88,6 +88,12 @@ type Store struct {
 
 	refCache map[disk.PageID][]disk.PageID
 	reorgs   int
+
+	// visited is an epoch-stamped per-page scratch used to deduplicate
+	// reference-page sets without allocating a map per call; bumping the
+	// epoch invalidates every stamp at once.
+	visited    []int32
+	visitEpoch int32
 }
 
 // New builds a store for db with the given configuration, laying objects
@@ -169,6 +175,30 @@ func (s *Store) place(order []ocb.OID) {
 	}
 	s.numPages = len(s.pageObjs)
 	s.refCache = make(map[disk.PageID][]disk.PageID)
+	s.ensureVisited()
+}
+
+// ensureVisited sizes the visited scratch to the current page count; call
+// after any operation that can grow the page space.
+func (s *Store) ensureVisited() {
+	if s.numPages > len(s.visited) {
+		s.visited = make([]int32, s.numPages)
+		s.visitEpoch = 0
+	}
+}
+
+// beginVisit starts a fresh deduplication pass over pages.
+func (s *Store) beginVisit() {
+	s.visitEpoch++
+}
+
+// seen marks page p visited and reports whether it already was this pass.
+func (s *Store) seen(p disk.PageID) bool {
+	if s.visited[p] == s.visitEpoch {
+		return true
+	}
+	s.visited[p] = s.visitEpoch
+	return false
 }
 
 // Database returns the underlying object base.
@@ -210,7 +240,7 @@ func (s *Store) ReferencedPages(p disk.PageID) []disk.PageID {
 	if cached, ok := s.refCache[p]; ok {
 		return cached
 	}
-	seen := map[disk.PageID]bool{}
+	s.beginVisit()
 	var out []disk.PageID
 	for _, o := range s.ObjectsOn(p) {
 		for _, t := range s.db.Objects[o].Refs {
@@ -218,10 +248,9 @@ func (s *Store) ReferencedPages(p disk.PageID) []disk.PageID {
 				continue
 			}
 			tp := s.firstPage[t]
-			if tp == p || seen[tp] {
+			if tp == p || s.seen(tp) {
 				continue
 			}
-			seen[tp] = true
 			out = append(out, tp)
 		}
 	}
@@ -236,33 +265,35 @@ func (s *Store) ReferencedPages(p disk.PageID) []disk.PageID {
 // per-object reservation set: when a system swizzles o's pointers it
 // reserves address space (and frames) for exactly these pages.
 func (s *Store) ObjectRefPages(o ocb.OID) []disk.PageID {
+	return s.ObjectRefPagesInto(o, nil)
+}
+
+// ObjectRefPagesInto is ObjectRefPages appending into buf (usually a
+// recycled scratch sliced to length zero), so the per-object hot path of
+// the Texas reservation mechanism allocates nothing in steady state.
+func (s *Store) ObjectRefPagesInto(o ocb.OID, buf []disk.PageID) []disk.PageID {
 	own := s.firstPage[o]
-	var out []disk.PageID
+	s.beginVisit()
+	s.visited[own] = s.visitEpoch
 	for _, t := range s.db.Objects[o].Refs {
 		if t == ocb.NilRef {
 			continue
 		}
 		tp := s.firstPage[t]
-		if tp == own {
+		if s.seen(tp) {
 			continue
 		}
-		dup := false
-		for _, p := range out {
-			if p == tp {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			out = append(out, tp)
-		}
+		buf = append(buf, tp)
 	}
-	sortPageIDs(out)
-	return out
+	sortPageIDs(buf)
+	return buf
 }
 
+// sortPageIDs orders ps ascending without allocating (slices.Sort is
+// generic, unlike sort.Slice's reflection swapper). Callers pass distinct
+// pages, so the unstable sort is deterministic.
 func sortPageIDs(ps []disk.PageID) {
-	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	slices.Sort(ps)
 }
 
 // Reorgs returns how many reorganizations the store has undergone.

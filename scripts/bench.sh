@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# bench.sh — run the kernel microbenchmarks and the headline figure
-# benchmark with -benchmem and write a BENCH_<date>.json summary, so
-# successive PRs accumulate a comparable performance trajectory.
+# bench.sh — run the kernel, lock-table, transaction-pipeline, and OCB
+# microbenchmarks plus the headline figure benchmark with -benchmem and
+# write a BENCH_<date>.json summary, so successive PRs accumulate a
+# comparable performance trajectory.
 #
 # Usage: scripts/bench.sh [output.json]
 #   FIG_BENCHTIME=3x scripts/bench.sh   # more figure iterations
+#   FIG_WORKERS=1 scripts/bench.sh      # force the sequential engine
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,15 +14,30 @@ OUT="${1:-BENCH_$(date +%Y-%m-%d).json}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
+# Worker count of the figure benchmark's replication engine: 0 = all cores
+# (the Experiment default). Recorded in the JSON so parallel and sequential
+# trajectory points are distinguishable. Non-numeric values would be
+# ignored by the benchmark but corrupt the JSON — reject them here.
+WORKERS="${FIG_WORKERS:-0}"
+case "$WORKERS" in
+  ''|*[!0-9]*) echo "FIG_WORKERS must be a non-negative integer, got '$WORKERS'" >&2; exit 1;;
+esac
+export FIG_WORKERS="$WORKERS"
+GOMAXPROCS_EFF="${GOMAXPROCS:-$(nproc 2>/dev/null || echo unknown)}"
+
 {
   go test -run '^$' -bench 'BenchmarkScheduleStep|BenchmarkScheduleCancel|BenchmarkScheduleRun' -benchmem ./internal/sim/
+  go test -run '^$' -bench 'BenchmarkAcquireReleaseCycle|BenchmarkAcquireConflictDispatch|BenchmarkReleaseAllWide' -benchmem ./internal/lock/
+  go test -run '^$' -bench 'BenchmarkTxnSubmitCommit' -benchmem ./internal/core/
   go test -run '^$' -bench 'BenchmarkOCBGenerate' -benchmem ./internal/ocb/
   go test -run '^$' -bench 'BenchmarkFig6' -benchtime "${FIG_BENCHTIME:-1x}" -benchmem .
 } | tee "$TMP"
 
 awk -v date="$(date +%Y-%m-%d)" \
     -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
-    -v cores="$(nproc 2>/dev/null || echo unknown)" '
+    -v cores="$(nproc 2>/dev/null || echo unknown)" \
+    -v gomaxprocs="$GOMAXPROCS_EFF" \
+    -v workers="$WORKERS" '
 /^Benchmark/ {
   name = $1; sub(/-[0-9]+$/, "", name)
   iters = $2; ns = $3
@@ -37,7 +54,7 @@ awk -v date="$(date +%Y-%m-%d)" \
   lines[n++] = line "}"
 }
 END {
-  printf "{\n  \"date\": \"%s\",\n  \"commit\": \"%s\",\n  \"cores\": \"%s\",\n  \"benchmarks\": [\n", date, commit, cores
+  printf "{\n  \"date\": \"%s\",\n  \"commit\": \"%s\",\n  \"cores\": \"%s\",\n  \"gomaxprocs\": \"%s\",\n  \"fig_workers\": %s,\n  \"benchmarks\": [\n", date, commit, cores, gomaxprocs, workers
   for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n - 1 ? "," : "")
   printf "  ]\n}\n"
 }' "$TMP" > "$OUT"
