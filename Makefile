@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify vet race bench
+.PHONY: all build test verify vet race bench bench-compare
 
 all: verify
 
@@ -24,3 +24,8 @@ race:
 # -benchmem, emitting a BENCH_<date>.json summary (see PERFORMANCE.md).
 bench: verify vet
 	./scripts/bench.sh
+
+# Diff the two most recent BENCH_<date>.json files; fails on a >10%
+# allocs/op regression in any guarded benchmark (see scripts/bench_compare.sh).
+bench-compare:
+	./scripts/bench_compare.sh

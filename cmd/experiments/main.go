@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	experiments [-run fig6|…|table8|all] [-reps N] [-seed S] [-workers W] [-csv] [-chart]
+//	experiments [-run fig6|…|table8|all] [-reps N] [-seed S] [-workers W]
+//	            [-share-bases] [-csv] [-chart]
 package main
 
 import (
@@ -22,12 +23,14 @@ func main() {
 	reps := flag.Int("reps", 10, "replications per point (the paper used 100)")
 	seed := flag.Uint64("seed", 1999, "base random seed")
 	workers := flag.Int("workers", 0, "parallel replications per point (0 = all cores, 1 = sequential)")
+	shareBases := flag.Bool("share-bases", false,
+		"share each replication's object base across memory-sweep points (common random numbers; generates once per replication instead of once per point)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	chart := flag.Bool("chart", false, "draw ASCII charts for figures")
 	verbose := flag.Bool("v", false, "print per-point progress")
 	flag.Parse()
 
-	opts := experiments.Options{Replications: *reps, Seed: *seed, Workers: *workers}
+	opts := experiments.Options{Replications: *reps, Seed: *seed, Workers: *workers, ShareBases: *shareBases}
 	if *verbose {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}

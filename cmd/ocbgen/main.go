@@ -72,7 +72,7 @@ func main() {
 				pages[tx.Type] = map[int64]bool{}
 			}
 			for _, op := range tx.Ops {
-				pages[tx.Type][int64(store.PageOf(op.Object))] = true
+				pages[tx.Type][int64(store.PageOf(op.Object()))] = true
 			}
 		}
 		wt := report.NewTable("workload (hot run)", "type", "txns", "mean ops", "distinct pages")

@@ -134,9 +134,18 @@ func NewRandom(src *rng.Source) Policy {
 
 func (p *random) Name() string { return "RANDOM" }
 
+// Reseed re-derives the eviction stream in place (see Reseeder).
+func (p *random) Reseed(seed uint64) {
+	p.src.Reinit(seed)
+}
+
 func (p *random) Reset() {
 	p.pages = p.pages[:0]
-	p.pos = make(map[PageID]int)
+	if p.pos == nil {
+		p.pos = make(map[PageID]int)
+	} else {
+		clear(p.pos)
+	}
 }
 
 func (p *random) Inserted(pg PageID) {

@@ -287,3 +287,17 @@ func (m *Manager) HitRatio() float64 {
 func (m *Manager) ResetStats() {
 	m.hits, m.misses, m.evictions, m.writebacks = 0, 0, 0, 0
 }
+
+// Reset restores the manager to its freshly-constructed state — empty
+// buffer, pristine policy, zeroed counters — while keeping the frame
+// table's storage, so a recycled manager behaves bit-for-bit like a new
+// one without reallocating O(pages) state. The frame table's length (its
+// high-water page mark) is preserved; entries are cleared, which is
+// indistinguishable from absence.
+func (m *Manager) Reset() {
+	clear(m.frames)
+	m.resident = 0
+	m.policy.Reset()
+	m.hits, m.misses, m.evictions, m.writebacks = 0, 0, 0, 0
+	m.evScratch = m.evScratch[:0]
+}

@@ -46,6 +46,15 @@ type ColdInserter interface {
 	InsertedCold(p PageID)
 }
 
+// Reseeder is implemented by policies whose eviction decisions consume
+// randomness (RANDOM). Reseed re-derives the stream in place from seed —
+// the state rng.New(seed) produces — so a recycled policy, Reset by a
+// replication context instead of reconstructed, replays exactly like a
+// freshly built one without allocating a new Source.
+type Reseeder interface {
+	Reseed(seed uint64)
+}
+
 // NewPolicy builds a policy from its PGREP name. Recognized (case
 // insensitive): "RANDOM", "FIFO", "LFU", "LRU", "LRU-K" for any integer K
 // (e.g. "LRU-2"), "MRU", "CLOCK", "GCLOCK", "2Q". RANDOM requires a

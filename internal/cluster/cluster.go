@@ -32,6 +32,16 @@ type Policy interface {
 	Reset()
 }
 
+// FullResetter is implemented by policies that can restore themselves to
+// their freshly-constructed state — lifetime counters included, recycled
+// storage kept. Policy.Reset deliberately preserves lifetime counters
+// (ObservedTransactions, Builds) because it also marks in-run observation
+// cycle boundaries; a replication context starting a new replication needs
+// the stronger reset.
+type FullResetter interface {
+	FullReset()
+}
+
 // None is the no-clustering policy.
 type None struct{}
 

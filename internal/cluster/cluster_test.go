@@ -256,8 +256,8 @@ func TestDSTCTable7Calibration(t *testing.T) {
 	for _, tx := range txs {
 		prev := ocb.NilRef
 		for _, op := range tx.Ops {
-			d.Observe(op.Object, prev, op.Write)
-			prev = op.Object
+			d.Observe(op.Object(), prev, op.Write())
+			prev = op.Object()
 		}
 		d.EndTransaction()
 	}

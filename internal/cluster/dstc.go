@@ -108,6 +108,15 @@ func (d *DSTC) Name() string { return "DSTC" }
 // Params returns the tuning in effect.
 func (d *DSTC) Params() DSTCParams { return d.params }
 
+// FullReset restores the policy to its freshly-constructed state: all
+// statistics and the lifetime counters (ObservedTransactions, Builds),
+// keeping the recycled backing storage (see cluster.FullResetter).
+func (d *DSTC) FullReset() {
+	d.Reset()
+	d.observedTx = 0
+	d.builds = 0
+}
+
 // Reset drops all statistics, keeping the recycled backing storage.
 func (d *DSTC) Reset() {
 	for _, o := range d.periodTouched {

@@ -51,8 +51,21 @@ func (g *GreedyGraph) EndTransaction() { g.txSeen++ }
 // demand.
 func (g *GreedyGraph) ShouldTrigger() bool { return false }
 
-// Reset drops the statistics.
-func (g *GreedyGraph) Reset() { g.links = make(map[linkKey]int) }
+// Reset drops the statistics, keeping the link map's buckets.
+func (g *GreedyGraph) Reset() {
+	if g.links == nil {
+		g.links = make(map[linkKey]int)
+	} else {
+		clear(g.links)
+	}
+}
+
+// FullReset additionally zeroes the transaction counter (see
+// cluster.FullResetter).
+func (g *GreedyGraph) FullReset() {
+	g.Reset()
+	g.txSeen = 0
+}
 
 // BuildClusters merges links strongest-first into bounded clusters.
 func (g *GreedyGraph) BuildClusters() [][]ocb.OID {

@@ -2,11 +2,109 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/ocb"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
+
+// repContext is a replication worker's long-lived state: the instantiated
+// model, a reusable object base, and reusable workload buffers. The first
+// replication a context runs builds everything; every later one resets the
+// pieces in place (Run.Reset, ocb.GenerateInto, Workload.GenerateInto), so
+// steady-state replication setup allocates near-zero — the DESP-C++
+// recycle-never-reallocate discipline applied to the replication engine
+// itself. A reset context is observationally identical to a fresh one; the
+// golden tests pin this bit for bit.
+type repContext struct {
+	run *Run
+	cfg Config // configuration run was built with (a Run's config is fixed)
+	db  *ocb.Database
+	w   *ocb.Workload
+}
+
+// generate rebuilds the context's owned database for p and seed, bit
+// identical to ocb.Generate(p, seed).
+func (c *repContext) generate(p ocb.Params, seed uint64) (*ocb.Database, error) {
+	if c.db == nil {
+		c.db = new(ocb.Database)
+	}
+	if err := ocb.GenerateInto(c.db, p, seed); err != nil {
+		return nil, err
+	}
+	return c.db, nil
+}
+
+// runFor returns the context's model instantiated for (cfg, db, seed):
+// reset in place when the configuration matches the previous replication's
+// (the common case — a point's replications share one Config), rebuilt
+// otherwise (a pooled context crossing to a sweep point with, say, a
+// different buffer size).
+func (c *repContext) runFor(cfg Config, db *ocb.Database, seed uint64) (*Run, error) {
+	if c.run != nil && c.cfg == cfg {
+		c.run.Reset(db, seed)
+		return c.run, nil
+	}
+	run, err := NewRun(cfg, db, seed)
+	if err != nil {
+		return nil, err
+	}
+	c.run, c.cfg = run, cfg
+	return run, nil
+}
+
+// workload returns the context's reusable workload buffer.
+func (c *repContext) workload() *ocb.Workload {
+	if c.w == nil {
+		c.w = new(ocb.Workload)
+	}
+	return c.w
+}
+
+// ContextPool shares replication contexts across successive experiment
+// runs. Without a pool, every Experiment.Run warms fresh contexts and the
+// first replication on each worker pays the full O(DB size) build; a sweep
+// that hands the same pool to every point amortizes that build across the
+// whole sweep. A nil *ContextPool is valid (per-run contexts).
+//
+// Pooling is invisible in the results: contexts are fully reset between
+// replications, so any worker may take any context at any point without
+// perturbing a single bit of the output. The zero value is an empty,
+// usable pool; NewContextPool exists for symmetry at call sites.
+type ContextPool struct {
+	mu   sync.Mutex
+	free []*repContext
+}
+
+// NewContextPool returns an empty pool.
+func NewContextPool() *ContextPool { return &ContextPool{} }
+
+// get hands out a recycled context, or a fresh one when the pool is empty
+// or nil.
+func (p *ContextPool) get() *repContext {
+	if p == nil {
+		return &repContext{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		c := p.free[n-1]
+		p.free = p.free[:n-1]
+		return c
+	}
+	return &repContext{}
+}
+
+// put returns a context to the pool (a no-op for a nil pool).
+func (p *ContextPool) put(c *repContext) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.free = append(p.free, c)
+	p.mu.Unlock()
+}
 
 // Result aggregates a replicated experiment. Every metric is a sample over
 // replications; confidence intervals follow §4.2.2 of the paper (Student-t,
@@ -43,6 +141,24 @@ type Experiment struct {
 	// default) uses all available cores, 1 forces the sequential engine.
 	// Results are bit-identical for every worker count.
 	Workers int
+	// Pool, when non-nil, shares replication contexts with other
+	// experiments (the points of a sweep), amortizing model and database
+	// construction across them. Results are bit-identical with or without
+	// a pool.
+	Pool *ContextPool
+	// Base, when non-nil, supplies replication rep's object base instead
+	// of generating it into the worker's context. seed is the
+	// replication's derived seed, passed for suppliers that want to
+	// reproduce the Base == nil database exactly (ocb.Generate(Params,
+	// seed)); a supplier may also ignore it and derive bases from its own
+	// sweep-level seed — the object-base cache does, which is what lets
+	// one base be shared across sweep points whose experiment seeds
+	// differ, and which then intentionally changes results relative to
+	// Base == nil (see experiments.Options.ShareBases). Either way the
+	// supplier must be deterministic in rep, and the returned database is
+	// treated as immutable, so it may be shared across concurrent
+	// replications and sweep points.
+	Base func(rep int, seed uint64) *ocb.Database
 }
 
 func (e Experiment) confidence() float64 {
@@ -69,20 +185,28 @@ type repRow struct {
 	hitRatio, respMs, tp float64
 }
 
-// runRep executes one replication: generate a fresh object base and
-// workload from replication-specific seeds, build a fresh model, play the
+// runRep executes one replication on ctx: obtain the replication's object
+// base (shared via Base, or regenerated into the context) and workload
+// from replication-specific seeds, reset the context's model, play the
 // cold run unmeasured and the hot run measured.
-func (e Experiment) runRep(rep int) (repRow, error) {
+func (e Experiment) runRep(ctx *repContext, rep int) (repRow, error) {
 	seed := repSeed(e.Seed, rep)
-	db, err := ocb.Generate(e.Params, seed)
+	var db *ocb.Database
+	if e.Base != nil {
+		db = e.Base(rep, seed)
+	}
+	if db == nil {
+		var err error
+		if db, err = ctx.generate(e.Params, seed); err != nil {
+			return repRow{}, err
+		}
+	}
+	run, err := ctx.runFor(e.Config, db, seed)
 	if err != nil {
 		return repRow{}, err
 	}
-	run, err := NewRun(e.Config, db, seed)
-	if err != nil {
-		return repRow{}, err
-	}
-	w := ocb.GenerateWorkload(db, seed+1)
+	w := ctx.workload()
+	w.GenerateInto(db, seed+1)
 	if len(w.Cold) > 0 {
 		run.ExecuteBatch(w.Cold)
 	}
@@ -107,7 +231,7 @@ func (e Experiment) Run() (*Result, error) {
 	if err := e.Params.Validate(); err != nil {
 		return nil, err
 	}
-	rows, err := runReplications(e.Replications, e.Workers, e.runRep)
+	rows, err := runReplications(e.Replications, e.Workers, e.Pool, e.runRep)
 	if err != nil {
 		return nil, err
 	}
@@ -153,6 +277,9 @@ type DSTCExperiment struct {
 	// Workers bounds how many replications run concurrently: 0 (the
 	// default) uses all available cores, 1 forces the sequential engine.
 	Workers int
+	// Pool, when non-nil, shares replication contexts with other
+	// experiments; see Experiment.Pool.
+	Pool *ContextPool
 }
 
 // dstcRow carries one replication's §4.4 metrics back to the fold.
@@ -163,21 +290,26 @@ type dstcRow struct {
 	clusters, objPer    float64
 }
 
-func (e DSTCExperiment) runRep(rep int) (dstcRow, error) {
+func (e DSTCExperiment) runRep(ctx *repContext, rep int) (dstcRow, error) {
 	seed := repSeed(e.Seed, rep)
-	db, err := ocb.Generate(e.Params, seed)
+	db, err := ctx.generate(e.Params, seed)
 	if err != nil {
 		return dstcRow{}, err
 	}
-	run, err := NewRun(e.Config, db, seed)
+	run, err := ctx.runFor(e.Config, db, seed)
 	if err != nil {
 		return dstcRow{}, err
 	}
-	pre := run.ExecuteBatch(ocb.GenerateHierarchyWorkload(db, seed+1, e.Transactions, e.Depth))
+	w := ctx.workload()
+	w.GenerateHierarchyInto(db, seed+1, e.Transactions, e.Depth)
+	pre := run.ExecuteBatch(w.Hot)
+	w.Release()
 	run.PerformClustering(func() {})
 	run.sim.Run() // drain the reorganization's scheduled I/O
 	reorg := run.LastReorgReport()
-	post := run.ExecuteBatch(ocb.GenerateHierarchyWorkload(db, seed+2, e.Transactions, e.Depth))
+	w.GenerateHierarchyInto(db, seed+2, e.Transactions, e.Depth)
+	post := run.ExecuteBatch(w.Hot)
+	w.Release()
 
 	row := dstcRow{
 		pre:      float64(pre.IOs),
@@ -205,7 +337,7 @@ func (e DSTCExperiment) Run() (*DSTCResult, error) {
 	if conf == 0 {
 		conf = 0.95
 	}
-	rows, err := runReplications(e.Replications, e.Workers, e.runRep)
+	rows, err := runReplications(e.Replications, e.Workers, e.Pool, e.runRep)
 	if err != nil {
 		return nil, err
 	}

@@ -102,6 +102,53 @@ func NewRun(cfg Config, db *ocb.Database, seed uint64) (*Run, error) {
 	return r, nil
 }
 
+// Reset restores the Run to the state NewRun(r.Config(), db, seed) would
+// produce, recycling every substrate's backing storage in place: the event
+// calendar's slot arena, the passive resources, the buffer's frame table
+// and policy structures, the lock table's pools, the store's placement
+// tables, and the pooled transaction executors all keep their capacity.
+// Following DESP-C++'s recycle-never-reallocate discipline, a second and
+// later replication on a long-lived Run therefore allocates near-zero —
+// and behaves bit-for-bit like a freshly built model (the golden tests pin
+// this).
+//
+// The configuration is fixed at construction; callers that need a
+// different Config must build a new Run.
+func (r *Run) Reset(db *ocb.Database, seed uint64) {
+	r.sim.Reset()
+	r.db = db
+	r.store.Reset(db)
+	r.buf.Reset()
+	if rs, ok := r.buf.Policy().(buffer.Reseeder); ok {
+		// RANDOM's eviction draws must replay from the same stream a fresh
+		// model would use (NewRun passes rng.NewStream(seed, 20)).
+		rs.Reseed(rng.SubSeed(seed, 20))
+	}
+	r.dsk.Reset()
+	r.net.ResetStats()
+	r.locks.Reset()
+	r.diskRes.Reset()
+	r.serverCPU.Reset()
+	r.clientCPU.Reset()
+	r.admission.Reset()
+	if fr, ok := r.clusterer.(cluster.FullResetter); ok {
+		fr.FullReset() // lifetime counters too, not just the observation cycle
+	} else {
+		r.clusterer.Reset()
+	}
+	r.failures = nil
+	if r.cfg.Failures.Enabled {
+		r.failures = newFailureInjector(r, r.cfg.Failures, rng.NewStream(seed, 21))
+	}
+	r.txDone, r.txAborted = 0, 0
+	r.respTotal = 0
+	r.respDist.Reset()
+	r.activeTx = 0
+	r.lastSummary = cluster.Summary{}
+	r.lastReorg = ReorgReport{}
+	r.reorgIOs = 0
+}
+
 // Config returns the configuration.
 func (r *Run) Config() Config { return r.cfg }
 

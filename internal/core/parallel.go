@@ -22,29 +22,37 @@ func resolveWorkers(workers, reps int) int {
 	return workers
 }
 
-// runReplications executes body(rep) for every replication index in
+// runReplications executes body(ctx, rep) for every replication index in
 // [0, reps) on up to workers goroutines and returns the per-replication
-// rows indexed by replication number.
+// rows indexed by replication number. Each worker owns one long-lived
+// repContext, taken from pool (which may be nil for per-call contexts):
+// the first replication a worker runs builds the model, database, and
+// workload buffers, and every later replication resets them in place.
 //
 // Replications are embarrassingly parallel by construction — each derives
-// its own random streams from its replication index and builds a fresh
-// model — so the only sources of nondeterminism a parallel engine could
-// introduce are aggregation order and error selection. Both are pinned
-// here: rows land in a preallocated slice at their replication index and
-// the caller folds them in index order, and when several replications fail
-// the lowest replication index wins, matching what the sequential loop
-// would have reported. Results are therefore bit-identical for any worker
-// count.
+// its own random streams from its replication index and resets its
+// context's model to a pristine state — so the only sources of
+// nondeterminism a parallel engine could introduce are aggregation order
+// and error selection. Both are pinned here: rows land in a preallocated
+// slice at their replication index and the caller folds them in index
+// order, and when several replications fail the lowest replication index
+// wins, matching what the sequential loop would have reported. Context
+// reuse adds no third source: a reset context is observationally identical
+// to a fresh one (pinned by the golden tests), so which warmed context a
+// worker draws from the pool cannot affect any row. Results are therefore
+// bit-identical for any worker count, with or without a shared pool.
 //
 // workers == 1 runs the legacy sequential path in the calling goroutine
 // (and, like the pre-parallel engine, stops at the first error instead of
 // finishing the remaining replications).
-func runReplications[T any](reps, workers int, body func(rep int) (T, error)) ([]T, error) {
+func runReplications[T any](reps, workers int, pool *ContextPool, body func(ctx *repContext, rep int) (T, error)) ([]T, error) {
 	rows := make([]T, reps)
 	workers = resolveWorkers(workers, reps)
 	if workers == 1 {
+		ctx := pool.get()
+		defer pool.put(ctx)
 		for rep := 0; rep < reps; rep++ {
-			row, err := body(rep)
+			row, err := body(ctx, rep)
 			if err != nil {
 				return nil, err
 			}
@@ -60,12 +68,14 @@ func runReplications[T any](reps, workers int, body func(rep int) (T, error)) ([
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			ctx := pool.get()
+			defer pool.put(ctx)
 			for {
 				rep := int(next.Add(1)) - 1
 				if rep >= reps {
 					return
 				}
-				rows[rep], errs[rep] = body(rep)
+				rows[rep], errs[rep] = body(ctx, rep)
 			}
 		}()
 	}

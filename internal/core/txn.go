@@ -207,16 +207,16 @@ func (e *txnExec) step() {
 			return
 
 		case stGetLock:
-			op := &e.tx.Ops[e.opIdx]
+			op := e.tx.Ops[e.opIdx]
 			mode := lock.Shared
-			if op.Write {
+			if op.Write() {
 				mode = lock.Exclusive
 			}
-			r.locks.Acquire(e.txid, lock.Item(op.Object), mode, e.lockGranted, e.lockDied)
+			r.locks.Acquire(e.txid, lock.Item(op.Object()), mode, e.lockGranted, e.lockDied)
 			return
 
 		case stFetchObject:
-			first, span := r.store.Pages(e.tx.Ops[e.opIdx].Object)
+			first, span := r.store.Pages(e.tx.Ops[e.opIdx].Object())
 			e.pages = e.pages[:0]
 			for i := 0; i < span; i++ {
 				e.pages = append(e.pages, first+disk.PageID(i))
@@ -231,7 +231,7 @@ func (e *txnExec) step() {
 			}
 			p := e.pages[e.pageIdx]
 			e.pageIdx++
-			res := r.buf.Access(p, e.tx.Ops[e.opIdx].Write)
+			res := r.buf.Access(p, e.tx.Ops[e.opIdx].Write())
 			if res.Hit {
 				e.loaded = false
 				e.state = stPageDone
@@ -293,7 +293,7 @@ func (e *txnExec) step() {
 			if e.loaded && r.cfg.ReserveOnLoad {
 				// Texas swizzles the freshly faulted object's pointers,
 				// reserving frames for every page it references.
-				e.reserve = r.store.ObjectRefPagesInto(e.tx.Ops[e.opIdx].Object, e.reserve[:0])
+				e.reserve = r.store.ObjectRefPagesInto(e.tx.Ops[e.opIdx].Object(), e.reserve[:0])
 				e.resIdx = 0
 				e.state = stReserve
 				continue
@@ -326,7 +326,7 @@ func (e *txnExec) step() {
 
 		case stTreatment:
 			if r.cfg.System == ObjectServer && !r.net.IsFree() {
-				size := int(r.db.Objects[e.tx.Ops[e.opIdx].Object].Size)
+				size := int(r.db.Objects[e.tx.Ops[e.opIdx].Object()].Size)
 				e.state = stCPU
 				r.after(r.net.TransferTime(size), e.cont)
 				return
@@ -363,9 +363,9 @@ func (e *txnExec) step() {
 			e.state = stOpDone
 
 		case stOpDone:
-			op := &e.tx.Ops[e.opIdx]
-			r.clusterer.Observe(op.Object, e.prev, op.Write)
-			e.prev = op.Object
+			op := e.tx.Ops[e.opIdx]
+			r.clusterer.Observe(op.Object(), e.prev, op.Write())
+			e.prev = op.Object()
 			e.opIdx++
 			e.state = stNextOp
 

@@ -126,3 +126,11 @@ func (m *Model) ResetStats() {
 
 // ResetHead forgets the head position (e.g., after unrelated activity).
 func (m *Model) ResetHead() { m.last = None }
+
+// Reset restores the model to its freshly-constructed state: counters
+// cleared and the head position forgotten. The configured per-phase times
+// are kept.
+func (m *Model) Reset() {
+	m.ResetStats()
+	m.last = None
+}

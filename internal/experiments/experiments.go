@@ -69,6 +69,18 @@ type Options struct {
 	// 0 uses all available cores, 1 forces the sequential engine. Results
 	// are bit-identical for every worker count.
 	Workers int
+	// ShareBases shares each replication's object base across the points
+	// of sweeps whose swept parameter does not affect generation (the
+	// memory sweeps, Figures 8 and 11): replication r's base is generated
+	// once from the sweep-level seed and reused at every point, instead of
+	// being regenerated per point from that point's own seed. This is the
+	// classical common-random-numbers variance reduction across the sweep
+	// axis; it changes those figures' sampled values (each point sees the
+	// same bases rather than independently drawn ones), so it is off by
+	// default. Results remain fully deterministic, identical for every
+	// worker count, and identical whether or not the cache materializes
+	// (pinned by TestBaseCacheTransparent).
+	ShareBases bool
 	// Progress, when non-nil, receives one line per completed point.
 	Progress func(string)
 }
@@ -95,38 +107,66 @@ func table5Params(nc, no int) ocb.Params {
 	return p
 }
 
-// instanceSweep reproduces a Figures 6/7/9/10-style sweep over NO.
+// instanceSweep reproduces a Figures 6/7/9/10-style sweep over NO. One
+// context pool spans the whole sweep, so each worker's model, database
+// arenas, and workload buffers are built once and then reset through the
+// points; NO affects generation, so bases cannot be shared here. Points
+// are independent replicated experiments, so the sweep executes them
+// largest-NO-first — the pooled contexts reach their high-water size at
+// the first point and every later point resets within existing capacity,
+// instead of regrowing every arena at each step of an ascending sweep —
+// and reports them in ascending order as before. Results are bit-identical
+// to any other execution order.
 func instanceSweep(id, title string, cfg core.Config, nc int, ref paper.Series, o Options) (*Figure, error) {
 	f := &Figure{ID: id, Title: title, XLabel: "instances", Paper: ref}
-	for _, no := range paper.InstanceCounts {
+	pool := core.NewContextPool()
+	f.Points = make([]Point, len(paper.InstanceCounts))
+	for i := len(paper.InstanceCounts) - 1; i >= 0; i-- {
+		no := paper.InstanceCounts[i]
 		e := core.Experiment{
 			Config:       cfg,
 			Params:       table5Params(nc, no),
 			Seed:         o.Seed + uint64(no),
 			Replications: o.reps(),
 			Workers:      o.Workers,
+			Pool:         pool,
 		}
 		res, err := e.Run()
 		if err != nil {
 			return nil, fmt.Errorf("%s at NO=%d: %w", id, no, err)
 		}
 		ci := res.IOsCI()
-		f.Points = append(f.Points, Point{X: no, IOs: ci, HitPct: res.HitRatio.Mean() * 100})
+		f.Points[i] = Point{X: no, IOs: ci, HitPct: res.HitRatio.Mean() * 100}
 		o.progress("%s NO=%d: %s", id, no, ci)
 	}
 	return f, nil
 }
 
-// memorySweep reproduces a Figures 8/11-style sweep over memory size.
+// memorySweep reproduces a Figures 8/11-style sweep over memory size. The
+// swept parameter is the buffer size — it never reaches ocb.Generate — so
+// with Options.ShareBases the sweep draws each replication's base once
+// from a sweep-level BaseCache and shares it across all points.
 func memorySweep(id, title string, mkCfg func(mb int) core.Config, ref paper.Series, o Options) (*Figure, error) {
 	f := &Figure{ID: id, Title: title, XLabel: "MB", Paper: ref}
+	params := table5Params(50, 20000)
+	pool := core.NewContextPool()
+	var base func(rep int, seed uint64) *ocb.Database
+	if o.ShareBases {
+		cache, err := NewBaseCache(params, o.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", id, err)
+		}
+		base = cache.Base
+	}
 	for _, mb := range paper.MemorySizesMB {
 		e := core.Experiment{
 			Config:       mkCfg(mb),
-			Params:       table5Params(50, 20000),
+			Params:       params,
 			Seed:         o.Seed + uint64(mb),
 			Replications: o.reps(),
 			Workers:      o.Workers,
+			Pool:         pool,
+			Base:         base,
 		}
 		res, err := e.Run()
 		if err != nil {
@@ -175,8 +215,10 @@ func Fig11(o Options) (*Figure, error) {
 		systems.TexasWithMemory, paper.Fig11, o)
 }
 
-// runDSTC executes the §4.4 protocol for one configuration.
-func runDSTC(cfg core.Config, memMB int, o Options) (*core.DSTCResult, error) {
+// runDSTC executes the §4.4 protocol for one configuration. A caller
+// running several configurations passes one pool so the heavy per-worker
+// state (database arenas, workload buffers) carries across them.
+func runDSTC(cfg core.Config, memMB int, pool *core.ContextPool, o Options) (*core.DSTCResult, error) {
 	if memMB > 0 {
 		cfg.BufferPages = systems.TexasWithMemory(memMB).BufferPages
 	}
@@ -188,6 +230,7 @@ func runDSTC(cfg core.Config, memMB int, o Options) (*core.DSTCResult, error) {
 		Seed:         o.Seed,
 		Replications: o.reps(),
 		Workers:      o.Workers,
+		Pool:         pool,
 	}
 	return e.Run()
 }
@@ -196,12 +239,13 @@ func runDSTC(cfg core.Config, memMB int, o Options) (*core.DSTCResult, error) {
 // benchmark column matched by our physical-OID mode and its simulation
 // column by our logical-OID mode.
 func Table6(o Options) (*TableResult, error) {
-	phys, err := runDSTC(systems.TexasDSTC(), 64, o)
+	pool := core.NewContextPool()
+	phys, err := runDSTC(systems.TexasDSTC(), 64, pool, o)
 	if err != nil {
 		return nil, err
 	}
 	o.progress("table6 physical done")
-	logical, err := runDSTC(systems.TexasLogicalOIDs(), 64, o)
+	logical, err := runDSTC(systems.TexasLogicalOIDs(), 64, pool, o)
 	if err != nil {
 		return nil, err
 	}
@@ -229,7 +273,7 @@ func Table6(o Options) (*TableResult, error) {
 
 // Table7 reproduces Table 7: DSTC cluster statistics.
 func Table7(o Options) (*TableResult, error) {
-	res, err := runDSTC(systems.TexasDSTC(), 64, o)
+	res, err := runDSTC(systems.TexasDSTC(), 64, nil, o)
 	if err != nil {
 		return nil, err
 	}
@@ -250,7 +294,7 @@ func Table7(o Options) (*TableResult, error) {
 
 // Table8 reproduces Table 8: DSTC on the "large" base (8 MB of memory).
 func Table8(o Options) (*TableResult, error) {
-	res, err := runDSTC(systems.TexasDSTC(), 8, o)
+	res, err := runDSTC(systems.TexasDSTC(), 8, nil, o)
 	if err != nil {
 		return nil, err
 	}

@@ -218,6 +218,27 @@ func NewManager() *Manager {
 	}
 }
 
+// Reset restores the table to its freshly-constructed state — no items, no
+// transactions, TxIDs restarting from 1, zeroed counters — while keeping
+// the entry and record pools, so a recycled table behaves bit-for-bit like
+// a new one (wait-die compares TxIDs, so the ID restart matters) without
+// reallocating. Any leftover entries and records are recycled into the
+// pools rather than dropped.
+func (m *Manager) Reset() {
+	for item, e := range m.table {
+		delete(m.table, item)
+		m.putEntry(e)
+	}
+	for tx, rec := range m.txns {
+		delete(m.txns, tx)
+		rec.locks = rec.locks[:0]
+		rec.waits = rec.waits[:0]
+		m.recPool = append(m.recPool, rec)
+	}
+	m.nextTx = 0
+	m.acquisitions, m.waits, m.deaths = 0, 0, 0
+}
+
 func (m *Manager) getEntry() *entry {
 	if n := len(m.entryPool); n > 0 {
 		e := m.entryPool[n-1]

@@ -18,3 +18,29 @@ func BenchmarkOCBGenerate(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkOCBGenerateInto is the warm-rebuild path a replication context
+// takes (and the cache-miss path of the sweep-level object-base cache):
+// regenerate into a previously used database, recycling its arenas. The
+// timed loop alternates between two seeds that the warm-up pass has
+// already built — arena sizes depend on the seed's draws (totalRefs
+// varies), so warming with the exact timed seeds is what makes even
+// -benchtime 1x (the CI 0-allocs/op guard) measure steady state.
+func BenchmarkOCBGenerateInto(b *testing.B) {
+	p := DefaultParams()
+	p.NC = 20
+	p.NO = 5000
+	db := new(Database)
+	for seed := uint64(1); seed <= 2; seed++ {
+		if err := GenerateInto(db, p, seed); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := GenerateInto(db, p, uint64(i%2)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -39,6 +39,11 @@ type Object struct {
 const NilRef OID = -1
 
 // Database is a generated OCB object base.
+//
+// A Database is immutable once generated: the simulator only ever reads it
+// (storage placement, workload draws, and reorganizations all keep their
+// own state), so one Database may be shared across concurrent replications.
+// GenerateInto is the one exception — it rebuilds the receiver in place.
 type Database struct {
 	Params  Params
 	Classes []Class
@@ -46,43 +51,111 @@ type Database struct {
 	// ByClass lists the OIDs of each class's instances in creation order.
 	ByClass [][]OID
 	// HotRoots is the fixed root population when Params.HotRootCount > 0
-	// (nil otherwise). It is part of the database — derived from the
+	// (empty otherwise). It is part of the database — derived from the
 	// database seed — so every workload drawn over this base shares it.
 	HotRoots []OID
+
+	// Generation arenas and scratch, recycled by GenerateInto so a
+	// replication context rebuilds its database in O(touched) allocations
+	// instead of O(NO). The streams live here (not as locals) so taking
+	// their address for the Zipf samplers cannot force a heap escape.
+	classRefArena []ClassRef
+	byClassArena  []OID
+	refArena      []OID
+	counts        []int
+	permScratch   []int
+	classSrc      rng.Source
+	objSrc        rng.Source
+	refSrc        rng.Source
+	classZipf     zipfCache
+	objZipf       zipfCache
+}
+
+// zipfCache memoizes a Zipf sampler keyed by its support and skew. The cdf
+// depends only on (n, theta) and the stream pointer is stable (it lives in
+// the same Database), so a warm rebuild with unchanged parameters reuses
+// the sampler instead of reallocating an O(n) cdf.
+type zipfCache struct {
+	z     *rng.Zipf
+	n     int
+	theta float64
+}
+
+// get returns the cached sampler for (src, n, theta), rebuilding on change.
+func (c *zipfCache) get(src *rng.Source, n int, theta float64) *rng.Zipf {
+	if c.z == nil || c.n != n || c.theta != theta {
+		c.z = rng.NewZipf(src, n, theta)
+		c.n, c.theta = n, theta
+	}
+	return c.z
+}
+
+// grown returns s resized to n elements, reusing its backing array when the
+// capacity suffices. Callers overwrite every element, so no zeroing is
+// needed on reuse.
+func grown[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
 }
 
 // Generate builds a random object base from p, deterministically for a
 // given seed. It returns an error if p is invalid.
 func Generate(p Params, seed uint64) (*Database, error) {
-	if err := p.Validate(); err != nil {
+	db := &Database{}
+	if err := GenerateInto(db, p, seed); err != nil {
 		return nil, err
 	}
-	classSrc := rng.NewStream(seed, 1)
-	objSrc := rng.NewStream(seed, 2)
-	refSrc := rng.NewStream(seed, 3)
+	return db, nil
+}
 
-	db := &Database{Params: p}
+// GenerateInto rebuilds db in place as Generate(p, seed) would, reusing a
+// previously generated database's arenas (objects, per-class instance
+// lists, reference arenas, the hot-root permutation scratch). The produced
+// base is bit-identical to Generate's — same streams, same draw order —
+// but a warm rebuild allocates only where a structure outgrew its previous
+// capacity. This is both the per-worker replication path and the cache-miss
+// path of the sweep-level object-base cache.
+func GenerateInto(db *Database, p Params, seed uint64) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	classSrc, objSrc, refSrc := &db.classSrc, &db.objSrc, &db.refSrc
+	classSrc.Reinit(rng.SubSeed(seed, 1))
+	objSrc.Reinit(rng.SubSeed(seed, 2))
+	refSrc.Reinit(rng.SubSeed(seed, 3))
+
+	db.Params = p
 
 	// --- schema ---
-	db.Classes = make([]Class, p.NC)
+	// Per-class reference lists are carved from one arena sized to the
+	// NC·MaxNRef upper bound, so carving never reallocates mid-loop (the
+	// nrefs draws interleave with the other schema draws).
+	db.Classes = grown(db.Classes, p.NC)
+	maxClassRefs := p.NC * p.MaxNRef
+	if cap(db.classRefArena) < maxClassRefs {
+		db.classRefArena = make([]ClassRef, 0, maxClassRefs)
+	} else {
+		db.classRefArena = db.classRefArena[:0]
+	}
 	var classZipf *rng.Zipf
 	if p.ClassRefDist == Zipf {
-		classZipf = rng.NewZipf(classSrc, p.NC, p.ZipfTheta)
+		classZipf = db.classZipf.get(classSrc, p.NC, p.ZipfTheta)
 	}
 	for i := range db.Classes {
-		c := Class{
-			ID:           i,
-			InstanceSize: p.BaseSize * classSrc.IntRange(1, p.SizeMult),
-		}
+		c := &db.Classes[i]
+		c.ID = i
+		c.InstanceSize = p.BaseSize * classSrc.IntRange(1, p.SizeMult)
 		nrefs := classSrc.IntRange(1, p.MaxNRef)
-		c.Refs = make([]ClassRef, nrefs)
-		for r := range c.Refs {
-			c.Refs[r] = ClassRef{
+		start := len(db.classRefArena)
+		for r := 0; r < nrefs; r++ {
+			db.classRefArena = append(db.classRefArena, ClassRef{
 				Target: pickClass(classSrc, classZipf, p, i),
 				Type:   pickRefType(classSrc, p),
-			}
+			})
 		}
-		db.Classes[i] = c
+		c.Refs = db.classRefArena[start:len(db.classRefArena):len(db.classRefArena)]
 	}
 
 	// --- instances ---
@@ -91,13 +164,15 @@ func Generate(p Params, seed uint64) (*Database, error) {
 	// instances per class, then each class's slice is sized into the arena
 	// and filled in OID order — the same content the old per-class appends
 	// produced, without NC growing slices.
-	db.Objects = make([]Object, p.NO)
-	db.ByClass = make([][]OID, p.NC)
+	db.Objects = grown(db.Objects, p.NO)
+	db.ByClass = grown(db.ByClass, p.NC)
 	var objClassZipf *rng.Zipf
 	if p.ObjClassDist == Zipf {
-		objClassZipf = rng.NewZipf(objSrc, p.NC, p.ZipfTheta)
+		objClassZipf = db.objZipf.get(objSrc, p.NC, p.ZipfTheta)
 	}
-	counts := make([]int, p.NC)
+	db.counts = grown(db.counts, p.NC)
+	counts := db.counts
+	clear(counts)
 	for o := 0; o < p.NO; o++ {
 		var cls int
 		if o < p.NC {
@@ -113,10 +188,10 @@ func Generate(p Params, seed uint64) (*Database, error) {
 		}
 		counts[cls]++
 	}
-	byClassArena := make([]OID, p.NO)
+	db.byClassArena = grown(db.byClassArena, p.NO)
 	off := 0
 	for c := range db.ByClass {
-		db.ByClass[c] = byClassArena[off : off : off+counts[c]]
+		db.ByClass[c] = db.byClassArena[off : off : off+counts[c]]
 		off += counts[c]
 	}
 	for o := range db.Objects {
@@ -125,36 +200,38 @@ func Generate(p Params, seed uint64) (*Database, error) {
 	}
 
 	// --- hot root population ---
+	db.HotRoots = db.HotRoots[:0]
 	if p.HotRootCount > 0 {
-		hotSrc := rng.NewStream(seed, 4)
-		perm := hotSrc.Perm(p.NO)
-		db.HotRoots = make([]OID, p.HotRootCount)
+		var hotSrc rng.Source
+		hotSrc.Reinit(rng.SubSeed(seed, 4))
+		db.permScratch = hotSrc.PermInto(db.permScratch, p.NO)
+		db.HotRoots = grown(db.HotRoots, p.HotRootCount)
 		for i := range db.HotRoots {
-			db.HotRoots[i] = OID(perm[i])
+			db.HotRoots[i] = OID(db.permScratch[i])
 		}
 	}
 
 	// --- object references ---
-	// All Refs slices share one backing arena allocated in a single shot
-	// (full capacity slice expressions keep neighbouring objects from
-	// appending into each other).
+	// All Refs slices share one backing arena sized in a single shot (full
+	// capacity slice expressions keep neighbouring objects from appending
+	// into each other).
 	totalRefs := 0
 	for o := range db.Objects {
 		totalRefs += len(db.Classes[db.Objects[o].Class].Refs)
 	}
-	refArena := make([]OID, totalRefs)
+	db.refArena = grown(db.refArena, totalRefs)
 	off = 0
 	for o := range db.Objects {
 		obj := &db.Objects[o]
 		refs := db.Classes[obj.Class].Refs
-		obj.Refs = refArena[off : off+len(refs) : off+len(refs)]
+		obj.Refs = db.refArena[off : off+len(refs) : off+len(refs)]
 		off += len(refs)
 		myRank := rankWithin(db.ByClass[obj.Class], OID(o))
 		for r, cr := range refs {
 			obj.Refs[r] = pickInstance(refSrc, p, db.ByClass[cr.Target], myRank, OID(o))
 		}
 	}
-	return db, nil
+	return nil
 }
 
 // pickRefType draws a reference type, biasing type 0 (hierarchy) when

@@ -245,12 +245,12 @@ func TestOpsValidAndRooted(t *testing.T) {
 		if len(tx.Ops) == 0 {
 			t.Fatal("empty transaction")
 		}
-		if tx.Ops[0].Object != tx.Root {
-			t.Fatalf("first op %d ≠ root %d", tx.Ops[0].Object, tx.Root)
+		if tx.Ops[0].Object() != tx.Root {
+			t.Fatalf("first op %d ≠ root %d", tx.Ops[0].Object(), tx.Root)
 		}
 		for _, op := range tx.Ops {
-			if op.Object < 0 || int(op.Object) >= len(db.Objects) {
-				t.Fatalf("op on invalid OID %d", op.Object)
+			if op.Object() < 0 || int(op.Object()) >= len(db.Objects) {
+				t.Fatalf("op on invalid OID %d", op.Object())
 			}
 		}
 	}
@@ -267,10 +267,10 @@ func TestTraversalsVisitOnce(t *testing.T) {
 		}
 		seen := map[OID]bool{}
 		for _, op := range tx.Ops {
-			if seen[op.Object] {
-				t.Fatalf("%v visits %d twice", tx.Type, op.Object)
+			if seen[op.Object()] {
+				t.Fatalf("%v visits %d twice", tx.Type, op.Object())
 			}
-			seen[op.Object] = true
+			seen[op.Object()] = true
 		}
 	}
 }
@@ -314,15 +314,15 @@ func TestHierarchyFollowsOnlyType0(t *testing.T) {
 			for prev := range ok {
 				obj := db.Objects[prev]
 				for r, tgt := range obj.Refs {
-					if tgt == op.Object && db.Classes[obj.Class].Refs[r].Type == 0 {
+					if tgt == op.Object() && db.Classes[obj.Class].Refs[r].Type == 0 {
 						reachable = true
 					}
 				}
 			}
 			if !reachable {
-				t.Fatalf("hierarchy op %d not reachable via type-0 refs", op.Object)
+				t.Fatalf("hierarchy op %d not reachable via type-0 refs", op.Object())
 			}
-			ok[op.Object] = true
+			ok[op.Object()] = true
 		}
 	}
 }
@@ -337,7 +337,7 @@ func TestWritesFollowWriteProb(t *testing.T) {
 	for _, tx := range w.Hot {
 		for _, op := range tx.Ops {
 			total++
-			if op.Write {
+			if op.Write() {
 				writes++
 			}
 		}
@@ -353,7 +353,7 @@ func TestReadOnlyByDefault(t *testing.T) {
 	w := GenerateWorkload(db, 41)
 	for _, tx := range w.Hot {
 		for _, op := range tx.Ops {
-			if op.Write {
+			if op.Write() {
 				t.Fatal("default workload must be read-only")
 			}
 		}

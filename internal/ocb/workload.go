@@ -1,16 +1,32 @@
 package ocb
 
 import (
-	"sync"
-
 	"repro/internal/rng"
 )
 
-// Op is one object access within a transaction.
-type Op struct {
-	Object OID
-	Write  bool
+// Op is one object access within a transaction, packed into 32 bits: the
+// low 31 bits hold the object's OID and the sign bit marks update
+// accesses. Workloads materialize hundreds of thousands of ops per
+// replication, so halving the op footprint (the old struct padded
+// OID+bool to 8 bytes) halves the dominant retained workload cost.
+type Op int32
+
+// opWriteBit marks an update access.
+const opWriteBit = int32(-1 << 31)
+
+// MkOp packs an access to o, as a write when write is set.
+func MkOp(o OID, write bool) Op {
+	if write {
+		return Op(int32(o) | opWriteBit)
+	}
+	return Op(o)
 }
+
+// Object returns the accessed OID.
+func (op Op) Object() OID { return OID(int32(op) &^ opWriteBit) }
+
+// Write reports whether the access is an update.
+func (op Op) Write() bool { return int32(op) < 0 }
 
 // Transaction is a generated OCB transaction: a typed, ordered sequence of
 // object accesses starting at a root. The sequence depends only on the
@@ -23,27 +39,24 @@ type Transaction struct {
 	Ops  []Op
 }
 
-// opBlockLen is the capacity of one pooled Op block (~0.5 MiB). Workload
-// op sequences are carved out of such blocks instead of one allocation per
+// opBlockLen is the capacity of one Op block (256 KiB). Workload op
+// sequences are carved out of such blocks instead of one allocation per
 // transaction.
 const opBlockLen = 1 << 15
 
-// opBlockPool recycles Op blocks across workloads (and, under the parallel
-// replication engine, across goroutines — sync.Pool is safe for that).
-var opBlockPool = sync.Pool{New: func() any {
-	s := make([]Op, 0, opBlockLen)
-	return &s
-}}
-
-// opArena carves transaction op sequences out of pooled blocks, so a
-// workload's per-transaction slices cost no allocation in steady state and
-// are returned to the pool in one release.
+// opArena carves transaction op sequences out of blocks it owns, so a
+// workload's per-transaction slices cost no allocation in steady state.
+// release retires the blocks in place (they are not freed): a long-lived
+// Workload refilled every replication reuses one block set for its whole
+// lifetime, immune to the GC-clearing that made a sync.Pool re-allocate
+// blocks between replications.
 type opArena struct {
-	blocks []*[]Op
+	blocks []*[]Op // all blocks ever allocated; [0, used) hold live ops
+	used   int
 }
 
 // place copies ops into the arena and returns the stable, full-capacity
-// slice. Sequences longer than a block get a dedicated (unpooled) copy.
+// slice. Sequences longer than a block get a dedicated (unrecycled) copy.
 func (a *opArena) place(ops []Op) []Op {
 	n := len(ops)
 	if n == 0 {
@@ -55,39 +68,49 @@ func (a *opArena) place(ops []Op) []Op {
 		return out
 	}
 	var cur *[]Op
-	if len(a.blocks) > 0 {
-		cur = a.blocks[len(a.blocks)-1]
+	if a.used > 0 {
+		cur = a.blocks[a.used-1]
 	}
 	if cur == nil || len(*cur)+n > cap(*cur) {
-		nb := opBlockPool.Get().(*[]Op)
-		*nb = (*nb)[:0]
-		a.blocks = append(a.blocks, nb)
-		cur = nb
+		if a.used < len(a.blocks) {
+			cur = a.blocks[a.used]
+			*cur = (*cur)[:0]
+		} else {
+			fresh := make([]Op, 0, opBlockLen)
+			cur = &fresh
+			a.blocks = append(a.blocks, cur)
+		}
+		a.used++
 	}
 	off := len(*cur)
 	*cur = append(*cur, ops...)
 	return (*cur)[off : off+n : off+n]
 }
 
-// release returns every block to the pool.
+// release retires every block for reuse by the next fill.
 func (a *opArena) release() {
-	for _, b := range a.blocks {
-		opBlockPool.Put(b)
+	for _, b := range a.blocks[:a.used] {
+		*b = (*b)[:0]
 	}
-	a.blocks = nil
+	a.used = 0
 }
 
 // Generator draws OCB transactions over a database. It is deterministic
 // for a given (database, seed).
 type Generator struct {
-	db       *Database
-	src      *rng.Source
-	typeDist *rng.Discrete
-	rootZipf *rng.Zipf
-	next     int
+	db        *Database
+	src       *rng.Source
+	typeDist  *rng.Discrete
+	typeWts   [4]float64
+	rootZipf  *rng.Zipf
+	zipfN     int
+	zipfTheta float64
+	next      int
 
 	// visited is reused across transactions to avoid re-allocation; the
-	// epoch trick avoids clearing 20000 entries per transaction.
+	// epoch trick avoids clearing 20000 entries per transaction. The epoch
+	// is monotonic across Reinit calls, so stale stamps from a previous
+	// database can never collide with a later pass.
 	visited []int
 	epoch   int
 
@@ -101,25 +124,52 @@ type Generator struct {
 // NewGenerator returns a workload generator for db using the database's
 // own parameters.
 func NewGenerator(db *Database, seed uint64) *Generator {
+	g := &Generator{}
+	g.Reinit(db, seed)
+	return g
+}
+
+// Reinit re-targets the generator at db with a fresh stream derived from
+// seed, restoring the state NewGenerator(db, seed) would produce while
+// reusing the visited table, the op scratch, the frontier buffers, and —
+// when the transaction mix is unchanged — the type sampler. A reinited
+// generator draws the exact same transaction sequence as a fresh one.
+func (g *Generator) Reinit(db *Database, seed uint64) {
 	p := db.Params
-	src := rng.NewStream(seed, 10)
-	g := &Generator{
-		db:  db,
-		src: src,
-		typeDist: rng.NewDiscrete(src, []float64{
-			p.PSet, p.PSimple, p.PHier, p.PStoch,
-		}),
-		visited: make([]int, len(db.Objects)),
-		epoch:   0,
+	g.db = db
+	if g.src == nil {
+		g.src = rng.New(rng.SubSeed(seed, 10))
+	} else {
+		g.src.Reinit(rng.SubSeed(seed, 10))
+	}
+	wts := [4]float64{p.PSet, p.PSimple, p.PHier, p.PStoch}
+	if g.typeDist == nil || wts != g.typeWts {
+		g.typeDist = rng.NewDiscrete(g.src, wts[:])
+		g.typeWts = wts
+	}
+	g.next = 0
+	if n := len(db.Objects); cap(g.visited) >= n {
+		g.visited = g.visited[:n]
+	} else {
+		g.visited = make([]int, n)
+		g.epoch = 0
 	}
 	if p.RootDist == Zipf {
 		n := len(db.Objects)
 		if len(db.HotRoots) > 0 {
 			n = len(db.HotRoots)
 		}
-		g.rootZipf = rng.NewZipf(src, n, p.ZipfTheta)
+		// The cdf depends only on (n, theta) and the source pointer is
+		// stable across Reinit, so the sampler is rebuilt only when the
+		// support changes — like typeDist above, this keeps a Zipf-rooted
+		// workload allocation-free on a warmed context.
+		if g.rootZipf == nil || g.zipfN != n || g.zipfTheta != p.ZipfTheta {
+			g.rootZipf = rng.NewZipf(g.src, n, p.ZipfTheta)
+			g.zipfN, g.zipfTheta = n, p.ZipfTheta
+		}
+	} else {
+		g.rootZipf = nil
 	}
-	return g
 }
 
 // Next generates the next transaction. The returned ops are freshly
@@ -205,7 +255,7 @@ func (g *Generator) mark(o OID)      { g.visited[o] = g.epoch }
 
 func (g *Generator) op(o OID) Op {
 	w := g.db.Params.WriteProb > 0 && g.src.Bernoulli(g.db.Params.WriteProb)
-	return Op{Object: o, Write: w}
+	return MkOp(o, w)
 }
 
 // breadthFirst visits every object reachable within depth levels, level by
@@ -297,35 +347,69 @@ func (g *Generator) stochastic(root OID, depth int) {
 
 // Workload pre-generates the full transaction stream of a replication:
 // ColdN unmeasured transactions followed by HotN measured ones. The op
-// sequences live in pooled arena blocks; call Release when the workload
-// has been executed to recycle them.
+// sequences live in arena blocks owned by this workload; call Release
+// when the workload has been executed to retire them for the next fill.
+//
+// A Workload is reusable: after Release, GenerateInto (or
+// GenerateHierarchyInto) refills it for the next replication, recycling
+// the transaction slices and the embedded generator, so a long-lived
+// replication context draws workloads with near-zero allocation.
 type Workload struct {
 	Cold []Transaction
 	Hot  []Transaction
 
 	arena opArena
+	gen   *Generator
 }
 
-// Release returns the workload's op storage to the shared pool. The
-// transactions (and their Ops slices) must not be used afterwards.
+// Release retires the workload's op storage in place (the arena keeps its
+// blocks for the next fill) and empties the transaction lists, keeping
+// their capacity for the next GenerateInto. The released transactions
+// (and their Ops slices) must not be used afterwards.
 func (w *Workload) Release() {
-	w.Cold, w.Hot = nil, nil
+	w.Cold, w.Hot = w.Cold[:0], w.Hot[:0]
 	w.arena.release()
 }
 
-// GenerateWorkload draws the complete stream for one replication.
-func GenerateWorkload(db *Database, seed uint64) *Workload {
-	g := NewGenerator(db, seed)
-	w := &Workload{
-		Cold: make([]Transaction, db.Params.ColdN),
-		Hot:  make([]Transaction, db.Params.HotN),
+// generator returns the embedded generator reinited for (db, seed).
+func (w *Workload) generator(db *Database, seed uint64) *Generator {
+	if w.gen == nil {
+		w.gen = &Generator{}
 	}
+	w.gen.Reinit(db, seed)
+	return w.gen
+}
+
+// GenerateInto refills w with the complete stream for one replication,
+// exactly as GenerateWorkload draws it, reusing w's storage.
+func (w *Workload) GenerateInto(db *Database, seed uint64) {
+	g := w.generator(db, seed)
+	w.Cold = grown(w.Cold, db.Params.ColdN)
+	w.Hot = grown(w.Hot, db.Params.HotN)
 	for i := range w.Cold {
 		w.Cold[i] = g.nextInto(&w.arena)
 	}
 	for i := range w.Hot {
 		w.Hot[i] = g.nextInto(&w.arena)
 	}
+}
+
+// GenerateHierarchyInto refills w with n fixed hierarchy traversals of the
+// given depth in Hot (Cold stays empty) — the reusable counterpart of
+// GenerateHierarchyWorkload, drawing the identical stream.
+func (w *Workload) GenerateHierarchyInto(db *Database, seed uint64, n, depth int) {
+	g := w.generator(db, seed)
+	w.Cold = w.Cold[:0]
+	w.Hot = grown(w.Hot, n)
+	for i := range w.Hot {
+		w.Hot[i] = g.hierarchyInto(&w.arena, depth)
+	}
+}
+
+// GenerateWorkload draws the complete stream for one replication.
+func GenerateWorkload(db *Database, seed uint64) *Workload {
+	w := &Workload{}
+	w.GenerateInto(db, seed)
 	return w
 }
 

@@ -31,6 +31,14 @@ func splitMix64(x *uint64) uint64 {
 // are, for simulation purposes, independent.
 func New(seed uint64) *Source {
 	var r Source
+	r.Reinit(seed)
+	return &r
+}
+
+// Reinit re-seeds r in place, leaving it in exactly the state New(seed)
+// would produce. It lets long-lived components (replication contexts,
+// recycled policies) replay a fresh stream without allocating a Source.
+func (r *Source) Reinit(seed uint64) {
 	x := seed
 	for i := range r.s {
 		r.s[i] = splitMix64(&x)
@@ -40,7 +48,6 @@ func New(seed uint64) *Source {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 1
 	}
-	return &r
 }
 
 // SubSeed derives the idx-th child seed of seed: the 64-bit seed whose
@@ -158,15 +165,27 @@ func (r *Source) Normal(mean, stddev float64) float64 {
 
 // Perm fills a permutation of [0, n) using Fisher–Yates.
 func (r *Source) Perm(n int) []int {
-	p := make([]int, n)
-	for i := range p {
-		p[i] = i
+	return r.PermInto(nil, n)
+}
+
+// PermInto is Perm writing into dst's backing array when it has capacity
+// for n elements (allocating otherwise), so repeated draws — one hot-root
+// population per replication, for example — reuse one buffer. The drawn
+// permutation is identical to Perm's.
+func (r *Source) PermInto(dst []int, n int) []int {
+	if cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([]int, n)
+	}
+	for i := range dst {
+		dst[i] = i
 	}
 	for i := n - 1; i > 0; i-- {
 		j := r.Intn(i + 1)
-		p[i], p[j] = p[j], p[i]
+		dst[i], dst[j] = dst[j], dst[i]
 	}
-	return p
+	return dst
 }
 
 // Shuffle permutes xs in place.

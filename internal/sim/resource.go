@@ -121,6 +121,19 @@ func (r *Resource) accumulate() {
 	r.lastChange = now
 }
 
+// Reset restores the resource to its freshly-constructed state — no tokens
+// held, no waiters, zeroed statistics anchored at time zero — keeping the
+// queue's backing array. It pairs with Simulation.Reset: a replication
+// context resets its passive resources alongside the calendar.
+func (r *Resource) Reset() {
+	r.inUse = 0
+	clear(r.queue) // drop grant closures so recycled slots hold no references
+	r.queue = r.queue[:0]
+	r.grants, r.releases, r.waitCount = 0, 0, 0
+	r.busyIntegral, r.qIntegral, r.waitTotal = 0, 0, 0
+	r.lastChange, r.statsSince = 0, 0
+}
+
 // ResetStats clears the gathered statistics (not the state) so that a
 // warm-up period can be excluded from measurements.
 func (r *Resource) ResetStats() {

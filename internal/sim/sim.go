@@ -50,7 +50,7 @@ func (e Event) Time() Time { return e.time }
 // event's slot has been recycled for a newer event the history is gone and
 // Cancelled reports false.
 func (e Event) Cancelled() bool {
-	if e.s == nil {
+	if e.s == nil || int(e.slot) >= len(e.s.events) {
 		return false
 	}
 	return e.s.events[e.slot].gen == e.gen+1
@@ -58,7 +58,7 @@ func (e Event) Cancelled() bool {
 
 // Pending reports whether the event is still waiting in the calendar.
 func (e Event) Pending() bool {
-	if e.s == nil {
+	if e.s == nil || int(e.slot) >= len(e.s.events) {
 		return false
 	}
 	slot := &e.s.events[e.slot]
@@ -101,6 +101,57 @@ type Simulation struct {
 // New returns an empty simulation with the clock at zero.
 func New() *Simulation {
 	return &Simulation{}
+}
+
+// Reset returns the simulation to the state New produces — clock at zero,
+// empty calendar, zeroed counters — while keeping the slot arena, free
+// list, and heap storage for reuse. Resetting instead of reallocating is
+// the DESP-C++ recycling discipline applied to the calendar itself: a
+// replication context resets its simulation once per replication and the
+// second and later replications schedule into already-grown storage.
+//
+// Outstanding Event handles from before the Reset are invalidated the way
+// a cancellation invalidates them: every slot's generation is bumped, so a
+// stale Cancel (or Pending) through an old handle is an inert no-op even
+// after its slot is recycled for a new event. Event ordering restarts from
+// a zeroed sequence counter, so a reset simulation replays a scenario
+// bit-identically to a fresh one.
+func (s *Simulation) Reset() {
+	s.now = 0
+	s.seq = 0
+	s.heap = s.heap[:0]
+	s.free = s.free[:0]
+	for i := range s.events {
+		slot := &s.events[i]
+		slot.action = nil // release captured state for the collector
+		slot.heapIdx = -1
+		if slot.gen&1 == 0 {
+			slot.gen++ // odd: invalidated, normalized back to even on alloc
+		}
+		s.free = append(s.free, int32(i))
+	}
+	s.scheduled, s.executed, s.cancelled = 0, 0, 0
+}
+
+// Grow pre-sizes the calendar so at least n events can be pending at once
+// without growing the arena or the heap — the capacity hint for models
+// whose peak calendar depth is known up front.
+func (s *Simulation) Grow(n int) {
+	if cap(s.events) < n {
+		events := make([]eventSlot, len(s.events), n)
+		copy(events, s.events)
+		s.events = events
+	}
+	if cap(s.heap) < n {
+		heap := make([]int32, len(s.heap), n)
+		copy(heap, s.heap)
+		s.heap = heap
+	}
+	if cap(s.free) < n {
+		free := make([]int32, len(s.free), n)
+		copy(free, s.free)
+		s.free = free
+	}
 }
 
 // Now returns the current simulated time.
@@ -164,7 +215,7 @@ func (s *Simulation) alloc() int32 {
 // Cancelling a zero, already-fired, already-cancelled, or recycled handle
 // is a no-op.
 func (s *Simulation) Cancel(e Event) {
-	if e.s != s || s == nil {
+	if e.s != s || s == nil || int(e.slot) >= len(s.events) {
 		return
 	}
 	slot := &s.events[e.slot]

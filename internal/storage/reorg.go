@@ -79,46 +79,55 @@ func (s *Store) Reorganize(clusters [][]ocb.OID) ReorgStats {
 		}
 	}
 
-	// Pull clustered objects out of their current pages.
-	for p := range s.pageObjs {
-		objs := s.pageObjs[p]
-		kept := objs[:0]
-		for _, o := range objs {
+	// Rebuild the page directory out of place: every existing page keeps
+	// its unclustered objects (same page indices), then the clustered
+	// objects pack onto fresh pages appended at the end, in cluster order.
+	// The previous directory's buffers become the scratch for the next
+	// reorganization.
+	starts := s.pageStartScratch[:0]
+	arena := s.pageObjArenaSwap[:0]
+	for p := 0; p < oldPages; p++ {
+		starts = append(starts, int32(len(arena)))
+		for _, o := range s.ObjectsOn(disk.PageID(p)) {
 			if !inCluster[o] {
-				kept = append(kept, o)
+				arena = append(arena, o)
 			}
 		}
-		s.pageObjs[p] = kept
 	}
-	// Pack them onto fresh pages at the end, in cluster order.
 	cur := -1
 	fill := s.cfg.PageSize
+	newPage := func() {
+		starts = append(starts, int32(len(arena)))
+		cur = len(starts) - 1
+		fill = 0
+	}
 	for _, o := range order {
 		sz := s.effectiveSize(o)
 		if sz > s.cfg.PageSize {
 			n := (sz + s.cfg.PageSize - 1) / s.cfg.PageSize
-			s.pageObjs = append(s.pageObjs, []ocb.OID{o})
-			cur = len(s.pageObjs) - 1
+			newPage()
 			s.firstPage[o] = disk.PageID(cur)
 			s.span[o] = int32(n)
+			arena = append(arena, o)
 			for i := 1; i < n; i++ {
-				s.pageObjs = append(s.pageObjs, nil)
+				newPage()
 			}
 			fill = s.cfg.PageSize
 			continue
 		}
 		if fill+sz > s.cfg.PageSize {
-			s.pageObjs = append(s.pageObjs, nil)
-			cur = len(s.pageObjs) - 1
-			fill = 0
+			newPage()
 		}
 		s.firstPage[o] = disk.PageID(cur)
 		s.span[o] = 1
-		s.pageObjs[cur] = append(s.pageObjs[cur], o)
+		arena = append(arena, o)
 		fill += sz
 	}
-	s.numPages = len(s.pageObjs)
-	s.refCache = make(map[disk.PageID][]disk.PageID)
+	s.numPages = len(starts)
+	starts = append(starts, int32(len(arena))) // sentinel
+	s.pageStartScratch, s.pageObjArenaSwap = s.pageStart, s.pageObjArena
+	s.pageStart, s.pageObjArena = starts, arena
+	s.resetRefCache()
 	s.ensureVisited()
 	s.reorgs++
 

@@ -83,8 +83,18 @@ type Store struct {
 
 	firstPage []disk.PageID // OID → first page
 	span      []int32       // OID → number of consecutive pages occupied
-	pageObjs  [][]ocb.OID   // page → objects whose first page it is
 	numPages  int
+
+	// Page directory: page p's objects (those whose first page is p) are
+	// pageObjArena[pageStart[p]:pageStart[p+1]]. One dense arena plus an
+	// offset table replaces a [][]OID of one small allocation per page —
+	// O(pages) fewer allocations and ~3× less header overhead on a
+	// 20000-object base. The scratch pair double-buffers Reorganize, which
+	// rebuilds the directory out of place and swaps.
+	pageStart        []int32
+	pageObjArena     []ocb.OID
+	pageStartScratch []int32
+	pageObjArenaSwap []ocb.OID
 
 	refCache map[disk.PageID][]disk.PageID
 	reorgs   int
@@ -94,6 +104,9 @@ type Store struct {
 	// epoch invalidates every stamp at once.
 	visited    []int32
 	visitEpoch int32
+
+	// orderScratch backs initialOrder, recycled across Reset calls.
+	orderScratch []ocb.OID
 }
 
 // New builds a store for db with the given configuration, laying objects
@@ -107,15 +120,40 @@ func New(db *ocb.Database, cfg Config) (*Store, error) {
 		db:        db,
 		firstPage: make([]disk.PageID, len(db.Objects)),
 		span:      make([]int32, len(db.Objects)),
-		refCache:  make(map[disk.PageID][]disk.PageID),
 	}
 	s.place(s.initialOrder())
 	return s, nil
 }
 
-// initialOrder returns OIDs in the configured placement order.
+// Reset re-targets the store at db — typically the next replication's
+// object base — restoring the state New(db, s.Config()) would produce
+// while reusing every backing array (placement tables, per-page object
+// lists, the visited scratch, the reference cache's buckets). The layout
+// and lookup results are bit-identical to a freshly built store.
+func (s *Store) Reset(db *ocb.Database) {
+	s.db = db
+	n := len(db.Objects)
+	if cap(s.firstPage) >= n {
+		s.firstPage = s.firstPage[:n]
+	} else {
+		s.firstPage = make([]disk.PageID, n)
+	}
+	if cap(s.span) >= n {
+		s.span = s.span[:n]
+	} else {
+		s.span = make([]int32, n)
+	}
+	s.reorgs = 0
+	s.place(s.initialOrder())
+}
+
+// initialOrder returns OIDs in the configured placement order, reusing the
+// order scratch across Reset calls.
 func (s *Store) initialOrder() []ocb.OID {
-	order := make([]ocb.OID, 0, len(s.db.Objects))
+	order := s.orderScratch[:0]
+	if cap(order) < len(s.db.Objects) {
+		order = make([]ocb.OID, 0, len(s.db.Objects))
+	}
 	switch s.cfg.Placement {
 	case OptimizedSequential:
 		for _, insts := range s.db.ByClass {
@@ -126,6 +164,7 @@ func (s *Store) initialOrder() []ocb.OID {
 			order = append(order, ocb.OID(o))
 		}
 	}
+	s.orderScratch = order
 	return order
 }
 
@@ -141,13 +180,18 @@ func (s *Store) effectiveSize(o ocb.OID) int {
 
 // place lays objects out in the given order, first-fit into consecutive
 // pages; an object larger than a page spans dedicated consecutive pages.
+// The directory buffers are recycled, so repeated placements allocate only
+// when the page space outgrows its high-water mark. Placement order means
+// the current page is always the last directory entry, which is what lets
+// a flat arena replace per-page lists.
 func (s *Store) place(order []ocb.OID) {
-	s.pageObjs = s.pageObjs[:0]
+	starts := s.pageStart[:0]
+	arena := s.pageObjArena[:0]
 	cur := -1 // current page index
 	fill := 0 // bytes used on current page
 	newPage := func() {
-		s.pageObjs = append(s.pageObjs, nil)
-		cur = len(s.pageObjs) - 1
+		starts = append(starts, int32(len(arena)))
+		cur = len(starts) - 1
 		fill = 0
 	}
 	for _, o := range order {
@@ -158,7 +202,7 @@ func (s *Store) place(order []ocb.OID) {
 			newPage()
 			s.firstPage[o] = disk.PageID(cur)
 			s.span[o] = int32(n)
-			s.pageObjs[cur] = append(s.pageObjs[cur], o)
+			arena = append(arena, o)
 			for i := 1; i < n; i++ {
 				newPage()
 			}
@@ -170,12 +214,24 @@ func (s *Store) place(order []ocb.OID) {
 		}
 		s.firstPage[o] = disk.PageID(cur)
 		s.span[o] = 1
-		s.pageObjs[cur] = append(s.pageObjs[cur], o)
+		arena = append(arena, o)
 		fill += sz
 	}
-	s.numPages = len(s.pageObjs)
-	s.refCache = make(map[disk.PageID][]disk.PageID)
+	s.numPages = len(starts)
+	starts = append(starts, int32(len(arena))) // sentinel
+	s.pageStart, s.pageObjArena = starts, arena
+	s.resetRefCache()
 	s.ensureVisited()
+}
+
+// resetRefCache empties the reference-page cache, keeping the map's
+// buckets so repeated placements do not regrow it from scratch.
+func (s *Store) resetRefCache() {
+	if s.refCache == nil {
+		s.refCache = make(map[disk.PageID][]disk.PageID)
+	} else {
+		clear(s.refCache)
+	}
 }
 
 // ensureVisited sizes the visited scratch to the current page count; call
@@ -223,13 +279,16 @@ func (s *Store) Pages(o ocb.OID) (first disk.PageID, span int) {
 // PageOf returns the first page of object o.
 func (s *Store) PageOf(o ocb.OID) disk.PageID { return s.firstPage[o] }
 
-// ObjectsOn returns the objects whose first page is p (nil for pages that
-// only hold the tail of a spanning object).
+// ObjectsOn returns the objects whose first page is p (empty for pages
+// that only hold the tail of a spanning object). The returned slice views
+// the store's page directory; it is valid until the next Reset or
+// Reorganize.
 func (s *Store) ObjectsOn(p disk.PageID) []ocb.OID {
 	if p < 0 || int(p) >= s.numPages {
 		return nil
 	}
-	return s.pageObjs[p]
+	lo, hi := s.pageStart[p], s.pageStart[p+1]
+	return s.pageObjArena[lo:hi:hi]
 }
 
 // ReferencedPages returns the distinct pages referenced by the objects on

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# bench_compare.sh — diff the two most recent BENCH_*.json trajectory
+# files and fail when a guarded benchmark's allocs/op regressed by more
+# than the threshold (default 10 %). Benchmarks present in only one file
+# are reported and skipped, so adding a benchmark never breaks the gate.
+#
+# Usage: scripts/bench_compare.sh [old.json new.json]
+#   THRESHOLD_PCT=25 scripts/bench_compare.sh   # loosen the gate
+#   GUARDED="BenchmarkFoo BenchmarkBar" scripts/bench_compare.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+THRESHOLD_PCT="${THRESHOLD_PCT:-10}"
+GUARDED="${GUARDED:-BenchmarkScheduleStep BenchmarkScheduleCancel BenchmarkScheduleRun \
+BenchmarkAcquireReleaseCycle BenchmarkAcquireConflictDispatch BenchmarkTxnSubmitCommit \
+BenchmarkOCBGenerate BenchmarkOCBGenerateInto BenchmarkFig6_O2Instances20}"
+
+if [ "$#" -eq 2 ]; then
+  OLD="$1"; NEW="$2"
+else
+  # BENCH_<date>[suffix].json sorts chronologically by name.
+  mapfile -t files < <(ls BENCH_*.json 2>/dev/null | sort)
+  if [ "${#files[@]}" -lt 2 ]; then
+    echo "bench_compare: need at least two BENCH_*.json files (found ${#files[@]}); nothing to compare"
+    exit 0
+  fi
+  OLD="${files[-2]}"; NEW="${files[-1]}"
+fi
+echo "bench_compare: $OLD -> $NEW (allocs/op threshold +${THRESHOLD_PCT}%)"
+
+# alloc_of <file> <benchmark> — print allocs_per_op, or nothing if absent.
+alloc_of() {
+  sed -n 's/.*"name": "'"$2"'".*"allocs_per_op": \([0-9][0-9]*\).*/\1/p' "$1" | head -n1
+}
+
+fail=0
+for bench in $GUARDED; do
+  old_allocs="$(alloc_of "$OLD" "$bench")"
+  new_allocs="$(alloc_of "$NEW" "$bench")"
+  if [ -z "$old_allocs" ] || [ -z "$new_allocs" ]; then
+    echo "  skip  $bench (missing in $([ -z "$old_allocs" ] && echo "$OLD" || echo "$NEW"))"
+    continue
+  fi
+  # Integer guard: regression iff new*100 > old*(100+threshold). A zero
+  # baseline therefore fails on any nonzero value.
+  if [ "$((new_allocs * 100))" -gt "$((old_allocs * (100 + THRESHOLD_PCT)))" ]; then
+    echo "  FAIL  $bench allocs/op ${old_allocs} -> ${new_allocs}"
+    fail=1
+  else
+    echo "  ok    $bench allocs/op ${old_allocs} -> ${new_allocs}"
+  fi
+done
+exit "$fail"

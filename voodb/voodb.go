@@ -115,6 +115,16 @@ type DSTCExperiment = core.DSTCExperiment
 // DSTCResult aggregates a DSTCExperiment.
 type DSTCResult = core.DSTCResult
 
+// ContextPool shares replication contexts (model, database arenas,
+// workload buffers) across successive experiments — hand one pool to every
+// point of a sweep and each worker's heavy state is built once for the
+// whole sweep. Results are bit-identical with or without a pool.
+type ContextPool = core.ContextPool
+
+// NewContextPool returns an empty replication-context pool for
+// Experiment.Pool / DSTCExperiment.Pool.
+func NewContextPool() *ContextPool { return core.NewContextPool() }
+
 // Interval is a Student-t confidence interval.
 type Interval = stats.Interval
 
