@@ -1,11 +1,22 @@
 // Command experiments regenerates every table and figure of the paper's
 // evaluation section (§4), printing our simulated results next to the
-// published values (exact for Tables 6–8, digitized for the figures).
+// published values (exact for Tables 6–8, digitized for the figures) —
+// and runs user-defined parameter sweeps over the same engine.
 //
 // Usage:
 //
 //	experiments [-run fig6|…|table8|all] [-reps N] [-seed S] [-workers W]
 //	            [-share-bases] [-csv] [-chart]
+//	experiments -sweep param=lo:hi:step [-metrics ios,resp,…]
+//	            [-system default|o2|texas] [-no N] [-nc N] [-hotn N] …
+//	experiments -sweep-params
+//
+// The -sweep form compiles a declarative voodb.Sweep from the flag set: a
+// base system configuration (-system, workload sizing via -no/-nc/-hotn),
+// one axis over any Table 3 / OCB parameter (-sweep, see -sweep-params
+// for names), and a metric subset (-metrics; default all). Example:
+//
+//	experiments -sweep mpl=1:16:5 -metrics ios,resp,tps -system o2 -reps 10
 package main
 
 import (
@@ -16,25 +27,55 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/voodb"
 )
 
 func main() {
 	run := flag.String("run", "all", "experiment id (fig6…fig11, table6…table8) or 'all'")
-	reps := flag.Int("reps", 10, "replications per point (the paper used 100)")
+	reps := flag.Int("reps", experiments.DefaultReplications,
+		fmt.Sprintf("replications per point (the paper used %d)", voodb.PaperReplications))
 	seed := flag.Uint64("seed", 1999, "base random seed")
 	workers := flag.Int("workers", 0, "parallel replications per point (0 = all cores, 1 = sequential)")
 	shareBases := flag.Bool("share-bases", false,
-		"share each replication's object base across memory-sweep points (common random numbers; generates once per replication instead of once per point)")
+		"share each replication's object base across the points of non-generative sweeps (common random numbers; generates once per replication instead of once per point)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
-	chart := flag.Bool("chart", false, "draw ASCII charts for figures")
+	chart := flag.Bool("chart", false, "draw ASCII charts")
 	verbose := flag.Bool("v", false, "print per-point progress")
+
+	sweepSpec := flag.String("sweep", "",
+		"user-defined sweep axis, param=lo:hi:step or param=v1,v2,… (overrides -run; see -sweep-params)")
+	metrics := flag.String("metrics", "",
+		"comma-separated metric subset for -sweep (default: every metric)")
+	system := flag.String("system", "default",
+		"base configuration for -sweep: default (Table 3), o2 or texas (Table 4)")
+	no := flag.Int("no", 0, "override OCB instance count for -sweep (default Table 5)")
+	nc := flag.Int("nc", 0, "override OCB class count for -sweep")
+	hotn := flag.Int("hotn", 0, "override OCB measured-transaction count for -sweep")
+	listParams := flag.Bool("sweep-params", false, "list sweepable parameters and exit")
 	flag.Parse()
 
-	opts := experiments.Options{Replications: *reps, Seed: *seed, Workers: *workers, ShareBases: *shareBases}
-	if *verbose {
-		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	if *listParams {
+		printSweepParams()
+		return
 	}
 
+	var progress func(string)
+	if *verbose {
+		progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	if *sweepSpec != "" {
+		runUserSweep(userSweepFlags{
+			axis: *sweepSpec, metrics: *metrics, system: *system,
+			no: *no, nc: *nc, hotn: *hotn,
+			reps: *reps, seed: *seed, workers: *workers, shareBases: *shareBases,
+			csv: *csv, chart: *chart, progress: progress,
+		})
+		return
+	}
+
+	opts := experiments.Options{Replications: *reps, Seed: *seed, Workers: *workers,
+		ShareBases: *shareBases, Progress: progress}
 	ids := experiments.Names()
 	if *run != "all" {
 		ids = strings.Split(*run, ",")
@@ -55,6 +96,92 @@ func main() {
 		}
 		printTable(tbl, *csv)
 	}
+}
+
+// userSweepFlags carries the -sweep mode's flag values.
+type userSweepFlags struct {
+	axis, metrics, system string
+	no, nc, hotn          int
+	reps                  int
+	seed                  uint64
+	workers               int
+	shareBases            bool
+	csv, chart            bool
+	progress              func(string)
+}
+
+// runUserSweep compiles and executes a declarative sweep from the flags —
+// entirely through the public voodb API.
+func runUserSweep(f userSweepFlags) {
+	axis, err := voodb.ParseSweepAxis(f.axis)
+	if err != nil {
+		fatal(err)
+	}
+	ms, err := voodb.ParseSweepMetrics(f.metrics, voodb.StandardProtocol)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg voodb.Config
+	switch strings.ToLower(f.system) {
+	case "", "default":
+		cfg = voodb.DefaultConfig()
+	case "o2":
+		cfg = voodb.O2()
+	case "texas":
+		cfg = voodb.Texas()
+	default:
+		fatal(fmt.Errorf("unknown -system %q (default|o2|texas)", f.system))
+	}
+	params := voodb.DefaultWorkload()
+	if f.no > 0 {
+		params.NO = f.no
+	}
+	if f.nc > 0 {
+		params.NC = f.nc
+	}
+	if f.hotn > 0 {
+		params.HotN = f.hotn
+	}
+	s := voodb.Sweep{
+		Name:    "sweep-" + axis.Name,
+		Title:   fmt.Sprintf("%s sweep (%s system, NC=%d, NO=%d)", axis.Name, f.system, params.NC, params.NO),
+		Config:  cfg,
+		Params:  params,
+		Axis:    axis,
+		Metrics: ms,
+	}
+	res, err := voodb.RunSweep(s, voodb.SweepOptions{
+		Replications: f.reps,
+		Seed:         f.seed,
+		Workers:      f.workers,
+		ShareBases:   f.shareBases,
+		Progress:     f.progress,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if f.csv {
+		fmt.Print(res.CSV())
+	} else {
+		fmt.Println(res.Text())
+	}
+	if f.chart {
+		fmt.Print(res.Chart(12))
+	}
+}
+
+func printSweepParams() {
+	t := report.NewTable("sweepable parameters (-sweep name=lo:hi:step or name=v1,v2,…)",
+		"name", "generative", "description")
+	for _, p := range voodb.SweepParams() {
+		gen := ""
+		if p.Generative {
+			gen = "yes"
+		}
+		t.AddRow(p.Name, gen, p.Doc)
+	}
+	fmt.Println(t.String())
+	fmt.Println("generative parameters feed object-base/workload generation; sweeps over them regenerate bases per point and ignore -share-bases")
 }
 
 func printFigure(f *experiments.Figure, csv, chart bool) {

@@ -44,7 +44,8 @@ func main() {
 		mtbf       = flag.Float64("failure-mtbf", 0, "mean time between failures in ms (0 = none)")
 		repair     = flag.Float64("failure-repair", 200, "mean repair time in ms")
 
-		reps    = flag.Int("reps", 10, "replications")
+		reps = flag.Int("reps", voodb.DefaultReplications,
+			fmt.Sprintf("replications (the paper used %d)", voodb.PaperReplications))
 		seed    = flag.Uint64("seed", 1999, "random seed")
 		workers = flag.Int("workers", 0, "parallel replications (0 = all cores, 1 = sequential)")
 	)

@@ -1,0 +1,78 @@
+// Sweep study: the declarative sweep engine driving the paper's central
+// promise — one generic model, any architecture, any parameter study. The
+// multiprogramming level (Table 3 MULTILVL) is swept across all four
+// SystemClass architectures (centralized, object server, page server, DB
+// server) with sixteen concurrent users on a real 1 MB/s network, and the
+// full metric vector is collected per point: I/Os, response time,
+// throughput, network traffic and lock waits, each with a Student-t
+// confidence interval.
+//
+// This is the first study to exercise the DB-server and object-server
+// classes beyond unit tests: the classes nearly agree on I/O counts (same
+// buffer, same workload) but differ in what crosses the network per access,
+// so raising MPL moves their response times and throughputs apart.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/voodb"
+)
+
+func main() {
+	axis, err := voodb.ParseSweepAxis("mpl=1:13:4") // 1, 5, 9, 13
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := voodb.DefaultWorkload()
+	params.NC = 20
+	params.NO = 3000
+	params.HotN = 240
+
+	classes := []voodb.SystemClass{
+		voodb.Centralized, voodb.ObjectServer, voodb.PageServer, voodb.DBServer,
+	}
+	xLabels := make([]string, len(axis.Points))
+	for i, pt := range axis.Points {
+		xLabels[i] = fmt.Sprintf("%.0f", pt.X)
+	}
+	respSeries := make([]voodb.ChartData, 0, len(classes))
+
+	for _, sys := range classes {
+		cfg := voodb.DefaultConfig()
+		cfg.System = sys
+		cfg.NetThroughputMBps = 1 // a real network, unlike the O₂ setup
+		cfg.BufferPages = 512
+		cfg.Users = 16 // keep the admission scheduler busy so MPL binds
+
+		res, err := voodb.RunSweep(voodb.Sweep{
+			Name:   fmt.Sprintf("mpl-%s", sys),
+			Title:  fmt.Sprintf("MPL sweep — %s", sys),
+			Config: cfg,
+			Params: params,
+			Axis:   axis,
+			Metrics: []voodb.Metric{
+				voodb.MetricIOs, voodb.MetricRespMs, voodb.MetricThroughput,
+				voodb.MetricNetMessages, voodb.MetricLockWaits,
+			},
+		}, voodb.SweepOptions{Replications: 5, Seed: 11})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.Text())
+
+		resp := make([]float64, len(res.Points))
+		for i := range res.Points {
+			ci, _ := res.Points[i].Get(voodb.MetricRespMs)
+			resp[i] = ci.Mean
+		}
+		respSeries = append(respSeries, voodb.ChartData{Name: sys.String(), Values: resp})
+	}
+
+	fmt.Print(voodb.Chart("mean response time (ms) vs MPL, by architecture", xLabels, respSeries, 12))
+	fmt.Println()
+	fmt.Println("same buffer and workload => near-identical I/O counts across classes;")
+	fmt.Println("what separates them under load is the network: page servers ship")
+	fmt.Println("4 KB pages, object servers ship objects, DB servers ship results.")
+}

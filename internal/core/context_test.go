@@ -16,6 +16,10 @@ func foldRows(rows []repRow, conf float64) *Result {
 		res.HitRatio.Add(rows[i].hitRatio)
 		res.RespMs.Add(rows[i].respMs)
 		res.Throughput.Add(rows[i].tp)
+		res.NetMessages.Add(rows[i].netMsgs)
+		res.NetBytes.Add(rows[i].netBytes)
+		res.LockWaits.Add(rows[i].lockWaits)
+		res.ReorgIOs.Add(rows[i].reorgIOs)
 	}
 	return res
 }

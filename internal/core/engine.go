@@ -118,6 +118,14 @@ type Result struct {
 	HitRatio   stats.Sample
 	RespMs     stats.Sample
 	Throughput stats.Sample
+
+	// Full metric vector (measured over the hot batch, like the above):
+	// client–server network traffic, queued lock requests, and I/Os spent
+	// in reorganizations triggered mid-batch.
+	NetMessages stats.Sample
+	NetBytes    stats.Sample
+	LockWaits   stats.Sample
+	ReorgIOs    stats.Sample
 }
 
 // IOsCI returns the confidence interval of the mean I/O count.
@@ -183,6 +191,8 @@ func repSeed(seed uint64, rep int) uint64 {
 type repRow struct {
 	ios, reads, writes   float64
 	hitRatio, respMs, tp float64
+	netMsgs, netBytes    float64
+	lockWaits, reorgIOs  float64
 }
 
 // runRep executes one replication on ctx: obtain the replication's object
@@ -213,12 +223,16 @@ func (e Experiment) runRep(ctx *repContext, rep int) (repRow, error) {
 	st := run.ExecuteBatch(w.Hot)
 	w.Release()
 	return repRow{
-		ios:      float64(st.IOs),
-		reads:    float64(st.Reads),
-		writes:   float64(st.Writes),
-		hitRatio: st.HitRatio,
-		respMs:   st.MeanRespMs,
-		tp:       st.ThroughputTPS,
+		ios:       float64(st.IOs),
+		reads:     float64(st.Reads),
+		writes:    float64(st.Writes),
+		hitRatio:  st.HitRatio,
+		respMs:    st.MeanRespMs,
+		tp:        st.ThroughputTPS,
+		netMsgs:   float64(st.NetMessages),
+		netBytes:  float64(st.NetBytes),
+		lockWaits: float64(st.LockWaits),
+		reorgIOs:  float64(st.ReorgIOs),
 	}, nil
 }
 
@@ -243,6 +257,10 @@ func (e Experiment) Run() (*Result, error) {
 		res.HitRatio.Add(rows[i].hitRatio)
 		res.RespMs.Add(rows[i].respMs)
 		res.Throughput.Add(rows[i].tp)
+		res.NetMessages.Add(rows[i].netMsgs)
+		res.NetBytes.Add(rows[i].netBytes)
+		res.LockWaits.Add(rows[i].lockWaits)
+		res.ReorgIOs.Add(rows[i].reorgIOs)
 	}
 	return res, nil
 }

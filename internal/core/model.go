@@ -240,6 +240,15 @@ type BatchStats struct {
 	DiskUtilization float64
 	CPUUtilization  float64
 	MPLOccupancy    float64
+
+	// Substrate counters over the batch: client–server network traffic
+	// (zero for Centralized systems), lock requests that had to queue, and
+	// I/Os spent in reorganizations triggered during the batch (Figure 4's
+	// automatic triggering; zero without a Clustering Manager).
+	NetMessages uint64
+	NetBytes    uint64
+	LockWaits   uint64
+	ReorgIOs    uint64
 }
 
 // ExecuteBatch runs the given transactions to completion: cfg.Users user
@@ -250,6 +259,9 @@ func (r *Run) ExecuteBatch(txs []ocb.Transaction) BatchStats {
 	startReads, startWrites := r.dsk.Reads(), r.dsk.Writes()
 	startHits, startMisses := r.buf.Hits(), r.buf.Misses()
 	startDone, startAborted := r.txDone, r.txAborted
+	startMsgs, startBytes := r.net.Messages(), r.net.Bytes()
+	startWaits := r.locks.Waits()
+	startReorg := r.reorgIOs
 	startResp := r.respTotal
 	startTime := r.sim.Now()
 	r.respDist.Reset()
@@ -305,6 +317,10 @@ func (r *Run) ExecuteBatch(txs []ocb.Transaction) BatchStats {
 		Hits:         r.buf.Hits() - startHits,
 		Misses:       r.buf.Misses() - startMisses,
 		ElapsedMs:    elapsed,
+		NetMessages:  r.net.Messages() - startMsgs,
+		NetBytes:     r.net.Bytes() - startBytes,
+		LockWaits:    r.locks.Waits() - startWaits,
+		ReorgIOs:     r.reorgIOs - startReorg,
 	}
 	st.IOs = st.Reads + st.Writes
 	if st.Hits+st.Misses > 0 {

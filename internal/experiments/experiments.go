@@ -2,17 +2,30 @@
 // figure of the paper's evaluation section (§4). cmd/experiments, the
 // benchmark harness and EXPERIMENTS.md all consume these definitions, so
 // the same code regenerates every published result.
+//
+// Since the declarative-sweep refactor the reproductions are *data*: each
+// figure/table is a sweep.Sweep spec (see specs.go and Spec), executed by
+// the generic engine in internal/sweep. The adapters in this file map the
+// generic multi-metric results back onto the legacy Figure/TableResult
+// shapes, hex-identically to the pre-refactor hardcoded loops.
 package experiments
 
 import (
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/ocb"
 	"repro/internal/paper"
 	"repro/internal/stats"
-	"repro/internal/systems"
+	"repro/internal/sweep"
 )
+
+// DefaultReplications is the replication count used when
+// Options.Replications is unset, shared with cmd/experiments' and
+// cmd/voodb's -reps flag defaults. The paper's own §4.2.2 protocol used
+// sweep.PaperReplications (100); the smaller default keeps interactive
+// runs fast — pass -reps 100 (or set Replications) for paper-grade
+// intervals.
+const DefaultReplications = sweep.DefaultReplications
 
 // Point is one x position of a reproduced figure.
 type Point struct {
@@ -61,7 +74,8 @@ type TableResult struct {
 
 // Options control a reproduction run.
 type Options struct {
-	// Replications per point (the paper used 100).
+	// Replications per point (default DefaultReplications; the paper used
+	// sweep.PaperReplications).
 	Replications int
 	// Seed anchors all random streams.
 	Seed uint64
@@ -79,7 +93,7 @@ type Options struct {
 	// same bases rather than independently drawn ones), so it is off by
 	// default. Results remain fully deterministic, identical for every
 	// worker count, and identical whether or not the cache materializes
-	// (pinned by TestBaseCacheTransparent).
+	// (pinned by sweep's TestBaseCacheTransparent).
 	ShareBases bool
 	// Progress, when non-nil, receives one line per completed point.
 	Progress func(string)
@@ -87,7 +101,7 @@ type Options struct {
 
 func (o Options) reps() int {
 	if o.Replications < 1 {
-		return 10
+		return DefaultReplications
 	}
 	return o.Replications
 }
@@ -95,6 +109,17 @@ func (o Options) reps() int {
 func (o Options) progress(format string, args ...interface{}) {
 	if o.Progress != nil {
 		o.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// sweepOptions maps the reproduction options onto the generic engine's.
+func (o Options) sweepOptions() sweep.Options {
+	return sweep.Options{
+		Replications: o.Replications,
+		Seed:         o.Seed,
+		Workers:      o.Workers,
+		ShareBases:   o.ShareBases,
+		Progress:     o.Progress,
 	}
 }
 
@@ -107,209 +132,111 @@ func table5Params(nc, no int) ocb.Params {
 	return p
 }
 
-// instanceSweep reproduces a Figures 6/7/9/10-style sweep over NO. One
-// context pool spans the whole sweep, so each worker's model, database
-// arenas, and workload buffers are built once and then reset through the
-// points; NO affects generation, so bases cannot be shared here. Points
-// are independent replicated experiments, so the sweep executes them
-// largest-NO-first — the pooled contexts reach their high-water size at
-// the first point and every later point resets within existing capacity,
-// instead of regrowing every arena at each step of an ascending sweep —
-// and reports them in ascending order as before. Results are bit-identical
-// to any other execution order.
-func instanceSweep(id, title string, cfg core.Config, nc int, ref paper.Series, o Options) (*Figure, error) {
-	f := &Figure{ID: id, Title: title, XLabel: "instances", Paper: ref}
-	pool := core.NewContextPool()
-	f.Points = make([]Point, len(paper.InstanceCounts))
-	for i := len(paper.InstanceCounts) - 1; i >= 0; i-- {
-		no := paper.InstanceCounts[i]
-		e := core.Experiment{
-			Config:       cfg,
-			Params:       table5Params(nc, no),
-			Seed:         o.Seed + uint64(no),
-			Replications: o.reps(),
-			Workers:      o.Workers,
-			Pool:         pool,
-		}
-		res, err := e.Run()
-		if err != nil {
-			return nil, fmt.Errorf("%s at NO=%d: %w", id, no, err)
-		}
-		ci := res.IOsCI()
-		f.Points[i] = Point{X: no, IOs: ci, HitPct: res.HitRatio.Mean() * 100}
-		o.progress("%s NO=%d: %s", id, no, ci)
+// runFigure executes a figure's declarative spec and adapts the generic
+// multi-metric result onto the legacy Figure shape: the I/O interval and
+// the hit percentage, next to the paper's digitized curves.
+func runFigure(id string, ref paper.Series, o Options) (*Figure, error) {
+	spec, err := Spec(id)
+	if err != nil {
+		return nil, err
 	}
-	return f, nil
-}
-
-// memorySweep reproduces a Figures 8/11-style sweep over memory size. The
-// swept parameter is the buffer size — it never reaches ocb.Generate — so
-// with Options.ShareBases the sweep draws each replication's base once
-// from a sweep-level BaseCache and shares it across all points.
-func memorySweep(id, title string, mkCfg func(mb int) core.Config, ref paper.Series, o Options) (*Figure, error) {
-	f := &Figure{ID: id, Title: title, XLabel: "MB", Paper: ref}
-	params := table5Params(50, 20000)
-	pool := core.NewContextPool()
-	var base func(rep int, seed uint64) *ocb.Database
-	if o.ShareBases {
-		cache, err := NewBaseCache(params, o.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", id, err)
-		}
-		base = cache.Base
+	res, err := spec.Run(o.sweepOptions())
+	if err != nil {
+		return nil, err
 	}
-	for _, mb := range paper.MemorySizesMB {
-		e := core.Experiment{
-			Config:       mkCfg(mb),
-			Params:       params,
-			Seed:         o.Seed + uint64(mb),
-			Replications: o.reps(),
-			Workers:      o.Workers,
-			Pool:         pool,
-			Base:         base,
-		}
-		res, err := e.Run()
-		if err != nil {
-			return nil, fmt.Errorf("%s at %d MB: %w", id, mb, err)
-		}
-		ci := res.IOsCI()
-		f.Points = append(f.Points, Point{X: mb, IOs: ci, HitPct: res.HitRatio.Mean() * 100})
-		o.progress("%s mem=%dMB: %s", id, mb, ci)
+	f := &Figure{ID: res.Name, Title: res.Title, XLabel: res.XLabel, Paper: ref}
+	f.Points = make([]Point, len(res.Points))
+	for i := range res.Points {
+		pr := &res.Points[i]
+		ios, _ := pr.Get(sweep.IOs)
+		hit, _ := pr.Get(sweep.HitPct)
+		f.Points[i] = Point{X: int(pr.X), IOs: ios, HitPct: hit.Mean}
 	}
 	return f, nil
 }
 
 // Fig6 reproduces Figure 6: O₂, I/Os vs database size, 20 classes.
-func Fig6(o Options) (*Figure, error) {
-	return instanceSweep("fig6", "Mean number of I/Os vs instances (O2, 20 classes)",
-		systems.O2(), 20, paper.Fig6, o)
-}
+func Fig6(o Options) (*Figure, error) { return runFigure("fig6", paper.Fig6, o) }
 
 // Fig7 reproduces Figure 7: O₂, I/Os vs database size, 50 classes.
-func Fig7(o Options) (*Figure, error) {
-	return instanceSweep("fig7", "Mean number of I/Os vs instances (O2, 50 classes)",
-		systems.O2(), 50, paper.Fig7, o)
-}
+func Fig7(o Options) (*Figure, error) { return runFigure("fig7", paper.Fig7, o) }
 
 // Fig8 reproduces Figure 8: O₂, I/Os vs server cache size.
-func Fig8(o Options) (*Figure, error) {
-	return memorySweep("fig8", "Mean number of I/Os vs cache size (O2)",
-		systems.O2WithCache, paper.Fig8, o)
-}
+func Fig8(o Options) (*Figure, error) { return runFigure("fig8", paper.Fig8, o) }
 
 // Fig9 reproduces Figure 9: Texas, I/Os vs database size, 20 classes.
-func Fig9(o Options) (*Figure, error) {
-	return instanceSweep("fig9", "Mean number of I/Os vs instances (Texas, 20 classes)",
-		systems.Texas(), 20, paper.Fig9, o)
-}
+func Fig9(o Options) (*Figure, error) { return runFigure("fig9", paper.Fig9, o) }
 
 // Fig10 reproduces Figure 10: Texas, I/Os vs database size, 50 classes.
-func Fig10(o Options) (*Figure, error) {
-	return instanceSweep("fig10", "Mean number of I/Os vs instances (Texas, 50 classes)",
-		systems.Texas(), 50, paper.Fig10, o)
-}
+func Fig10(o Options) (*Figure, error) { return runFigure("fig10", paper.Fig10, o) }
 
 // Fig11 reproduces Figure 11: Texas, I/Os vs available memory.
-func Fig11(o Options) (*Figure, error) {
-	return memorySweep("fig11", "Mean number of I/Os vs memory size (Texas)",
-		systems.TexasWithMemory, paper.Fig11, o)
+func Fig11(o Options) (*Figure, error) { return runFigure("fig11", paper.Fig11, o) }
+
+// tableRowSpec pairs one published table row with the sweep metric that
+// reproduces it.
+type tableRowSpec struct {
+	name   string
+	metric sweep.Metric
+	paper  paper.DSTCRow
 }
 
-// runDSTC executes the §4.4 protocol for one configuration. A caller
-// running several configurations passes one pool so the heavy per-worker
-// state (database arenas, workload buffers) carries across them.
-func runDSTC(cfg core.Config, memMB int, pool *core.ContextPool, o Options) (*core.DSTCResult, error) {
-	if memMB > 0 {
-		cfg.BufferPages = systems.TexasWithMemory(memMB).BufferPages
+// runTable executes a table's declarative spec and adapts the per-variant
+// metric vectors onto the legacy TableResult rows.
+func runTable(id, altName string, rows []tableRowSpec, o Options) (*TableResult, error) {
+	spec, err := Spec(id)
+	if err != nil {
+		return nil, err
 	}
-	e := core.DSTCExperiment{
-		Config:       cfg,
-		Params:       ocb.DSTCExperimentParams(),
-		Transactions: 1000,
-		Depth:        3,
-		Seed:         o.Seed,
-		Replications: o.reps(),
-		Workers:      o.Workers,
-		Pool:         pool,
+	res, err := spec.Run(o.sweepOptions())
+	if err != nil {
+		return nil, err
 	}
-	return e.Run()
+	t := &TableResult{ID: res.Name, Title: res.Title, AltName: altName}
+	for _, row := range rows {
+		ours, _ := res.Points[0].Get(row.metric)
+		r := TableRow{
+			Name:       row.name,
+			PaperBench: row.paper.Benchmark,
+			PaperSim:   row.paper.Simulated,
+			Ours:       ours,
+		}
+		if altName != "" {
+			alt, _ := res.Points[1].Get(row.metric)
+			r.OursAlt, r.HasAlt = alt, true
+		}
+		t.Rows = append(t.Rows, r)
+	}
+	return t, nil
 }
 
 // Table6 reproduces Table 6: DSTC on the mid-size base, with the paper's
 // benchmark column matched by our physical-OID mode and its simulation
 // column by our logical-OID mode.
 func Table6(o Options) (*TableResult, error) {
-	pool := core.NewContextPool()
-	phys, err := runDSTC(systems.TexasDSTC(), 64, pool, o)
-	if err != nil {
-		return nil, err
-	}
-	o.progress("table6 physical done")
-	logical, err := runDSTC(systems.TexasLogicalOIDs(), 64, pool, o)
-	if err != nil {
-		return nil, err
-	}
-	o.progress("table6 logical done")
-	conf := 0.95
-	t := &TableResult{
-		ID:      "table6",
-		Title:   "Effects of DSTC (mean number of I/Os) – mid-sized base",
-		AltName: "ours (logical OIDs)",
-	}
-	row := func(name string, bench, sim float64, p, l *stats.Sample) {
-		t.Rows = append(t.Rows, TableRow{
-			Name: name, PaperBench: bench, PaperSim: sim,
-			Ours:    stats.ConfidenceInterval(p, conf),
-			OursAlt: stats.ConfidenceInterval(l, conf),
-			HasAlt:  true,
-		})
-	}
-	row("Pre-clustering usage", paper.Table6[0].Benchmark, paper.Table6[0].Simulated, &phys.PreIOs, &logical.PreIOs)
-	row("Clustering overhead", paper.Table6[1].Benchmark, paper.Table6[1].Simulated, &phys.OverheadIOs, &logical.OverheadIOs)
-	row("Post-clustering usage", paper.Table6[2].Benchmark, paper.Table6[2].Simulated, &phys.PostIOs, &logical.PostIOs)
-	row("Gain", paper.Table6[3].Benchmark, paper.Table6[3].Simulated, &phys.Gain, &logical.Gain)
-	return t, nil
+	return runTable("table6", "ours (logical OIDs)", []tableRowSpec{
+		{"Pre-clustering usage", sweep.PreIOs, paper.Table6[0]},
+		{"Clustering overhead", sweep.OverheadIOs, paper.Table6[1]},
+		{"Post-clustering usage", sweep.PostIOs, paper.Table6[2]},
+		{"Gain", sweep.Gain, paper.Table6[3]},
+	}, o)
 }
 
 // Table7 reproduces Table 7: DSTC cluster statistics.
 func Table7(o Options) (*TableResult, error) {
-	res, err := runDSTC(systems.TexasDSTC(), 64, nil, o)
-	if err != nil {
-		return nil, err
-	}
-	o.progress("table7 done")
-	t := &TableResult{ID: "table7", Title: "DSTC clustering statistics"}
-	t.Rows = append(t.Rows, TableRow{
-		Name:       "Mean number of clusters",
-		PaperBench: paper.Table7[0].Benchmark, PaperSim: paper.Table7[0].Simulated,
-		Ours: stats.ConfidenceInterval(&res.Clusters, 0.95),
-	})
-	t.Rows = append(t.Rows, TableRow{
-		Name:       "Mean number of obj./cluster",
-		PaperBench: paper.Table7[1].Benchmark, PaperSim: paper.Table7[1].Simulated,
-		Ours: stats.ConfidenceInterval(&res.ObjPerClus, 0.95),
-	})
-	return t, nil
+	return runTable("table7", "", []tableRowSpec{
+		{"Mean number of clusters", sweep.Clusters, paper.Table7[0]},
+		{"Mean number of obj./cluster", sweep.ObjPerCluster, paper.Table7[1]},
+	}, o)
 }
 
 // Table8 reproduces Table 8: DSTC on the "large" base (8 MB of memory).
 func Table8(o Options) (*TableResult, error) {
-	res, err := runDSTC(systems.TexasDSTC(), 8, nil, o)
-	if err != nil {
-		return nil, err
-	}
-	o.progress("table8 done")
-	t := &TableResult{ID: "table8", Title: "Effects of DSTC – 'large' base (8 MB memory)"}
-	add := func(name string, bench, sim float64, s *stats.Sample) {
-		t.Rows = append(t.Rows, TableRow{
-			Name: name, PaperBench: bench, PaperSim: sim,
-			Ours: stats.ConfidenceInterval(s, 0.95),
-		})
-	}
-	add("Pre-clustering usage", paper.Table8[0].Benchmark, paper.Table8[0].Simulated, &res.PreIOs)
-	add("Post-clustering usage", paper.Table8[1].Benchmark, paper.Table8[1].Simulated, &res.PostIOs)
-	add("Gain", paper.Table8[2].Benchmark, paper.Table8[2].Simulated, &res.Gain)
-	return t, nil
+	return runTable("table8", "", []tableRowSpec{
+		{"Pre-clustering usage", sweep.PreIOs, paper.Table8[0]},
+		{"Post-clustering usage", sweep.PostIOs, paper.Table8[1]},
+		{"Gain", sweep.Gain, paper.Table8[2]},
+	}, o)
 }
 
 // Names lists every experiment id in paper order.

@@ -1,0 +1,142 @@
+package experiments
+
+// This file expresses every reproduced experiment of the paper's §4 as
+// *data*: a declarative sweep.Sweep per figure/table, executed by the
+// generic engine in internal/sweep. Nothing below runs a simulation —
+// the specs only describe base configuration, axis mutations, and metric
+// selection. The legacy entry points (Fig6 … Table8) adapt the generic
+// sweep results back to the Figure/TableResult shapes in experiments.go;
+// their outputs are hex-identical to the pre-refactor hardcoded loops
+// (pinned by TestDeclarativeFig6MatchesLegacy).
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ocb"
+	"repro/internal/paper"
+	"repro/internal/sweep"
+	"repro/internal/systems"
+)
+
+// instanceSpec describes a Figures 6/7/9/10-style sweep over NO. NO feeds
+// ocb.Generate, so the axis is generative (bases regenerate per point) and
+// the sweep runs largest-NO-first so the pooled replication contexts reach
+// their high-water size at the first point.
+func instanceSpec(id, title string, cfg core.Config, nc int) sweep.Sweep {
+	pts := make([]sweep.Point, len(paper.InstanceCounts))
+	for i, no := range paper.InstanceCounts {
+		no := no
+		pts[i] = sweep.Point{
+			X:         float64(no),
+			SeedDelta: uint64(no),
+			Apply:     func(_ *core.Config, p *ocb.Params) { p.NO = no },
+		}
+	}
+	return sweep.Sweep{
+		Name:          id,
+		Title:         title,
+		Config:        cfg,
+		Params:        table5Params(nc, paper.InstanceCounts[len(paper.InstanceCounts)-1]),
+		Axis:          sweep.Axis{Name: "instances", Generative: true, Points: pts},
+		RunDescending: true,
+	}
+}
+
+// memorySpec describes a Figures 8/11-style sweep over memory size. The
+// swept parameter is the buffer size — it never reaches ocb.Generate — so
+// the axis is non-generative and Options.ShareBases may share each
+// replication's base across all points.
+func memorySpec(id, title string, mkCfg func(mb int) core.Config) sweep.Sweep {
+	pts := make([]sweep.Point, len(paper.MemorySizesMB))
+	for i, mb := range paper.MemorySizesMB {
+		mb := mb
+		pts[i] = sweep.Point{
+			X:         float64(mb),
+			SeedDelta: uint64(mb),
+			Apply:     func(cfg *core.Config, _ *ocb.Params) { *cfg = mkCfg(mb) },
+		}
+	}
+	return sweep.Sweep{
+		Name:   id,
+		Title:  title,
+		Config: mkCfg(paper.MemorySizesMB[0]),
+		Params: table5Params(50, 20000),
+		Axis:   sweep.Axis{Name: "MB", Points: pts},
+	}
+}
+
+// dstcPoint is one §4.4 protocol variant: a full configuration override
+// plus the available memory in MB.
+func dstcPoint(x float64, label string, mkCfg func() core.Config, memMB int) sweep.Point {
+	return sweep.Point{
+		X:     x,
+		Label: label,
+		Apply: func(cfg *core.Config, _ *ocb.Params) {
+			*cfg = mkCfg()
+			if memMB > 0 {
+				cfg.BufferPages = systems.TexasWithMemory(memMB).BufferPages
+			}
+		},
+	}
+}
+
+// dstcSpec describes a Tables 6–8-style study: the §4.4 protocol (1000
+// depth-3 hierarchy traversals, reorganize, 1000 more) run at each point.
+// All points share the sweep seed (SeedDelta 0), matching the paper's
+// protocol of comparing variants on identical bases.
+func dstcSpec(id, title string, metrics []sweep.Metric, points ...sweep.Point) sweep.Sweep {
+	return sweep.Sweep{
+		Name:         id,
+		Title:        title,
+		Config:       systems.TexasDSTC(),
+		Params:       ocb.DSTCExperimentParams(),
+		Axis:         sweep.Axis{Name: "variant", Points: points},
+		Metrics:      metrics,
+		Protocol:     sweep.DSTCProtocol,
+		Transactions: 1000,
+		Depth:        3,
+	}
+}
+
+// Spec returns the declarative sweep spec behind experiment id — the same
+// data Fig6 … Table8 execute. Callers may run it directly through
+// sweep.Sweep.Run for the full metric vector, or mutate a copy for
+// derived studies.
+func Spec(id string) (sweep.Sweep, error) {
+	switch id {
+	case "fig6":
+		return instanceSpec("fig6", "Mean number of I/Os vs instances (O2, 20 classes)",
+			systems.O2(), 20), nil
+	case "fig7":
+		return instanceSpec("fig7", "Mean number of I/Os vs instances (O2, 50 classes)",
+			systems.O2(), 50), nil
+	case "fig8":
+		return memorySpec("fig8", "Mean number of I/Os vs cache size (O2)",
+			systems.O2WithCache), nil
+	case "fig9":
+		return instanceSpec("fig9", "Mean number of I/Os vs instances (Texas, 20 classes)",
+			systems.Texas(), 20), nil
+	case "fig10":
+		return instanceSpec("fig10", "Mean number of I/Os vs instances (Texas, 50 classes)",
+			systems.Texas(), 50), nil
+	case "fig11":
+		return memorySpec("fig11", "Mean number of I/Os vs memory size (Texas)",
+			systems.TexasWithMemory), nil
+	case "table6":
+		return dstcSpec("table6", "Effects of DSTC (mean number of I/Os) – mid-sized base",
+			[]sweep.Metric{sweep.PreIOs, sweep.OverheadIOs, sweep.PostIOs, sweep.Gain},
+			dstcPoint(0, "physical", systems.TexasDSTC, 64),
+			dstcPoint(1, "logical", systems.TexasLogicalOIDs, 64)), nil
+	case "table7":
+		return dstcSpec("table7", "DSTC clustering statistics",
+			[]sweep.Metric{sweep.Clusters, sweep.ObjPerCluster},
+			dstcPoint(0, "dstc", systems.TexasDSTC, 64)), nil
+	case "table8":
+		return dstcSpec("table8", "Effects of DSTC – 'large' base (8 MB memory)",
+			[]sweep.Metric{sweep.PreIOs, sweep.PostIOs, sweep.Gain},
+			dstcPoint(0, "dstc", systems.TexasDSTC, 8)), nil
+	default:
+		return sweep.Sweep{}, fmt.Errorf("experiments: no spec for %q", id)
+	}
+}

@@ -141,22 +141,9 @@ func (t *Table) CSV() string {
 
 // Chart renders a crude ASCII line chart of one or more named series over a
 // shared integer x-axis — enough to eyeball the shape of a figure in a
-// terminal.
+// terminal. Series are legended in name order; ChartSeries gives callers
+// explicit ordering and non-integer x labels.
 func Chart(title string, x []int, series map[string][]float64, height int) string {
-	if height < 4 {
-		height = 4
-	}
-	maxV := 0.0
-	for _, ys := range series {
-		for _, y := range ys {
-			if y > maxV {
-				maxV = y
-			}
-		}
-	}
-	if maxV == 0 {
-		maxV = 1
-	}
 	names := make([]string, 0, len(series))
 	for name := range series {
 		names = append(names, name)
@@ -167,15 +154,57 @@ func Chart(title string, x []int, series map[string][]float64, height int) strin
 			names[j], names[j-1] = names[j-1], names[j]
 		}
 	}
+	labels := make([]string, len(x))
+	for i, xv := range x {
+		labels[i] = fmt.Sprintf("%d", xv)
+	}
+	ordered := make([]Series, len(names))
+	for i, name := range names {
+		ordered[i] = Series{Name: name, Values: series[name]}
+	}
+	return ChartSeries(title, labels, ordered, height)
+}
+
+// Series is one named curve of a multi-series chart.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// ChartSeries renders an ASCII chart of the given curves over a shared
+// labelled x-axis, with the legend in slice order — the multi-metric /
+// multi-variant form used by sweep reports, where the x positions may be
+// floats or named variants and series order is meaningful.
+func ChartSeries(title string, xLabels []string, series []Series, height int) string {
+	if height < 4 {
+		height = 4
+	}
+	maxV := 0.0
+	for _, s := range series {
+		for _, y := range s.Values {
+			if y > maxV {
+				maxV = y
+			}
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	colw := 6
+	for _, l := range xLabels {
+		if len(l)+1 > colw {
+			colw = len(l) + 1
+		}
+	}
 	marks := "*o+x#@"
-	width := len(x)
+	width := len(xLabels)
 	grid := make([][]byte, height)
 	for r := range grid {
-		grid[r] = []byte(strings.Repeat(" ", width*6))
+		grid[r] = []byte(strings.Repeat(" ", width*colw))
 	}
-	for si, name := range names {
+	for si, s := range series {
 		mark := marks[si%len(marks)]
-		for i, y := range series[name] {
+		for i, y := range s.Values {
 			if i >= width {
 				break
 			}
@@ -183,7 +212,7 @@ func Chart(title string, x []int, series map[string][]float64, height int) strin
 			if row < 0 {
 				row = 0
 			}
-			col := i*6 + 3
+			col := i*colw + colw/2
 			grid[row][col] = mark
 		}
 	}
@@ -195,15 +224,15 @@ func Chart(title string, x []int, series map[string][]float64, height int) strin
 		b.WriteByte('\n')
 	}
 	b.WriteString("+-")
-	b.WriteString(strings.Repeat("-", width*6))
+	b.WriteString(strings.Repeat("-", width*colw))
 	b.WriteByte('\n')
 	b.WriteString("  ")
-	for _, xv := range x {
-		fmt.Fprintf(&b, "%-6d", xv)
+	for _, l := range xLabels {
+		fmt.Fprintf(&b, "%-*s", colw, l)
 	}
 	b.WriteByte('\n')
-	for si, name := range names {
-		fmt.Fprintf(&b, "  %c = %s\n", marks[si%len(marks)], name)
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c = %s\n", marks[si%len(marks)], s.Name)
 	}
 	return b.String()
 }

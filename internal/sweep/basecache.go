@@ -1,4 +1,4 @@
-package experiments
+package sweep
 
 import (
 	"sync"
@@ -24,7 +24,9 @@ import (
 // simulator never mutates a Database (storage placement and
 // reorganizations keep their own state), so sharing is invisible in the
 // results: a cached sweep matches an uncached sweep hex-exactly (pinned by
-// TestBaseCacheTransparent). The cache retains every generated base until
+// TestBaseCacheTransparent). Sweep.Run builds one automatically when
+// Options.ShareBases is set and the axis is non-generative. The cache
+// retains every generated base until
 // it is dropped — for R replications of an NO-object base that is R
 // databases resident at once — which is the space half of the time/space
 // trade.

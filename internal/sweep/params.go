@@ -1,0 +1,260 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ocb"
+)
+
+// Param is one sweepable parameter: a Table 3 system knob or an OCB
+// workload knob, addressable by name from the CLI (-sweep name=lo:hi:step)
+// and from library code (ParamAxis).
+type Param struct {
+	// Name is the CLI-facing identifier (lower case).
+	Name string
+	// Doc is a one-line description with the paper's parameter code.
+	Doc string
+	// Generative marks parameters that feed ocb workload/base generation;
+	// axes over them regenerate bases per point and are ineligible for
+	// base sharing.
+	Generative bool
+	// Integer marks parameters whose values are rounded to integers.
+	Integer bool
+	// Apply writes value v into the configuration/parameters.
+	Apply func(cfg *core.Config, p *ocb.Params, v float64)
+}
+
+// paramTable registers every sweepable parameter. Config-level knobs come
+// first (Table 3 codes), then the OCB generation knobs (all generative).
+var paramTable = []Param{
+	{Name: "mpl", Doc: "multiprogramming level (MULTILVL)", Integer: true,
+		Apply: func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.MPL = int(v) }},
+	{Name: "users", Doc: "number of users (NUSERS)", Integer: true,
+		Apply: func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.Users = int(v) }},
+	{Name: "buffpages", Doc: "buffer size in pages (BUFFSIZE)", Integer: true,
+		Apply: func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.BufferPages = int(v) }},
+	{Name: "pagesize", Doc: "page size in bytes (PGSIZE)", Integer: true,
+		Apply: func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.PageSize = int(v) }},
+	{Name: "netthru", Doc: "network throughput in MB/s (NETTHRU)",
+		Apply: func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.NetThroughputMBps = v }},
+	{Name: "netlat", Doc: "per-message network latency in ms",
+		Apply: func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.NetLatencyMs = v }},
+	{Name: "thinktime", Doc: "user think time in ms",
+		Apply: func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.ThinkTimeMs = v }},
+	{Name: "servercpus", Doc: "server processors (Table 1 passive resource)", Integer: true,
+		Apply: func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.ServerCPUs = int(v) }},
+	{Name: "objcpu", Doc: "CPU cost per object access in ms",
+		Apply: func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.ObjectCPUMs = v }},
+	{Name: "getlock", Doc: "lock acquisition time in ms (GETLOCK)",
+		Apply: func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.GetLockMs = v }},
+	{Name: "rellock", Doc: "lock release time in ms (RELLOCK)",
+		Apply: func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.RelLockMs = v }},
+	{Name: "diskseek", Doc: "disk seek time in ms (DISKSEA)",
+		Apply: func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.DiskSeekMs = v }},
+	{Name: "disklat", Doc: "disk latency in ms (DISKLAT)",
+		Apply: func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.DiskLatencyMs = v }},
+	{Name: "disktra", Doc: "disk transfer time in ms (DISKTRA)",
+		Apply: func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.DiskTransferMs = v }},
+
+	{Name: "no", Doc: "object-base instances (OCB NO)", Generative: true, Integer: true,
+		Apply: func(_ *core.Config, p *ocb.Params, v float64) { p.NO = int(v) }},
+	{Name: "nc", Doc: "schema classes (OCB NC)", Generative: true, Integer: true,
+		Apply: func(_ *core.Config, p *ocb.Params, v float64) { p.NC = int(v) }},
+	{Name: "maxnref", Doc: "max references per class (OCB MAXNREF)", Generative: true, Integer: true,
+		Apply: func(_ *core.Config, p *ocb.Params, v float64) { p.MaxNRef = int(v) }},
+	{Name: "basesize", Doc: "base instance size in bytes (OCB BASESIZE)", Generative: true, Integer: true,
+		Apply: func(_ *core.Config, p *ocb.Params, v float64) { p.BaseSize = int(v) }},
+	{Name: "hotn", Doc: "measured transactions (OCB HOTN)", Generative: true, Integer: true,
+		Apply: func(_ *core.Config, p *ocb.Params, v float64) { p.HotN = int(v) }},
+	{Name: "coldn", Doc: "unmeasured cold transactions (OCB COLDN)", Generative: true, Integer: true,
+		Apply: func(_ *core.Config, p *ocb.Params, v float64) { p.ColdN = int(v) }},
+	{Name: "writeprob", Doc: "per-access update probability", Generative: true,
+		Apply: func(_ *core.Config, p *ocb.Params, v float64) { p.WriteProb = v }},
+	{Name: "setdepth", Doc: "set-oriented access depth (OCB SETDEPTH)", Generative: true, Integer: true,
+		Apply: func(_ *core.Config, p *ocb.Params, v float64) { p.SetDepth = int(v) }},
+	{Name: "simdepth", Doc: "simple traversal depth (OCB SIMDEPTH)", Generative: true, Integer: true,
+		Apply: func(_ *core.Config, p *ocb.Params, v float64) { p.SimDepth = int(v) }},
+	{Name: "hiedepth", Doc: "hierarchy traversal depth (OCB HIEDEPTH)", Generative: true, Integer: true,
+		Apply: func(_ *core.Config, p *ocb.Params, v float64) { p.HieDepth = int(v) }},
+	{Name: "stodepth", Doc: "stochastic traversal depth (OCB STODEPTH)", Generative: true, Integer: true,
+		Apply: func(_ *core.Config, p *ocb.Params, v float64) { p.StoDepth = int(v) }},
+	{Name: "hotroots", Doc: "hot traversal-root population (0 = unbounded)", Generative: true, Integer: true,
+		Apply: func(_ *core.Config, p *ocb.Params, v float64) { p.HotRootCount = int(v) }},
+	{Name: "objlocality", Doc: "object reference locality (OCB OLOCREF)", Generative: true, Integer: true,
+		Apply: func(_ *core.Config, p *ocb.Params, v float64) { p.ObjectLocality = int(v) }},
+	{Name: "classlocality", Doc: "class reference locality (OCB CLOCREF)", Generative: true, Integer: true,
+		Apply: func(_ *core.Config, p *ocb.Params, v float64) { p.ClassLocality = int(v) }},
+}
+
+// Params lists every sweepable parameter, sorted by name.
+func Params() []Param {
+	out := append([]Param(nil), paramTable...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// LookupParam finds a parameter by (case-insensitive) name.
+func LookupParam(name string) (Param, bool) {
+	name = strings.ToLower(strings.TrimSpace(name))
+	for _, p := range paramTable {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Param{}, false
+}
+
+// ParamAxis builds an axis sweeping the named parameter over the given
+// values. Point i uses SeedDelta i, so points draw decorrelated random
+// streams regardless of the value scale.
+func ParamAxis(name string, values []float64) (Axis, error) {
+	param, ok := LookupParam(name)
+	if !ok {
+		return Axis{}, fmt.Errorf("sweep: unknown parameter %q (have %s)", name, strings.Join(paramNames(), ","))
+	}
+	if len(values) == 0 {
+		return Axis{}, fmt.Errorf("sweep: no values for parameter %q", name)
+	}
+	axis := Axis{Name: param.Name, Generative: param.Generative}
+	seen := make(map[float64]bool, len(values))
+	for _, v := range values {
+		if param.Integer {
+			// Rounding can collapse neighbours (mpl=1:3:0.5 → 1,2,2,3,3);
+			// duplicate positions would rerun the same point under a
+			// different seed, so they are dropped.
+			v = math.Round(v)
+		}
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		v := v
+		axis.Points = append(axis.Points, Point{
+			X:         v,
+			SeedDelta: uint64(len(axis.Points)),
+			Apply:     func(cfg *core.Config, p *ocb.Params) { param.Apply(cfg, p, v) },
+		})
+	}
+	return axis, nil
+}
+
+// ParseAxis compiles a CLI axis spec into an Axis. Two forms are accepted:
+//
+//	name=lo:hi:step   inclusive range (step > 0)
+//	name=v1,v2,v3     explicit value list
+func ParseAxis(spec string) (Axis, error) {
+	name, vals, ok := strings.Cut(spec, "=")
+	if !ok {
+		return Axis{}, fmt.Errorf("sweep: axis spec %q is not name=values", spec)
+	}
+	values, err := parseValues(vals)
+	if err != nil {
+		return Axis{}, fmt.Errorf("sweep: axis %q: %w", spec, err)
+	}
+	return ParamAxis(name, values)
+}
+
+// maxAxisPoints bounds how many points a range may expand to: one
+// replicated experiment runs per point, so anything beyond this is a
+// typo'd range, and rejecting it beats stalling while a billion-element
+// slice builds.
+const maxAxisPoints = 10000
+
+func parseValues(s string) ([]float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("empty value list")
+	}
+	if strings.Contains(s, ":") {
+		parts := strings.Split(s, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("range %q is not lo:hi:step", s)
+		}
+		loStr, hiStr, stepStr := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1]), strings.TrimSpace(parts[2])
+		lo, err := strconv.ParseFloat(loStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad range start %q", parts[0])
+		}
+		hi, err := strconv.ParseFloat(hiStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad range end %q", parts[1])
+		}
+		step, err := strconv.ParseFloat(stepStr, 64)
+		if err != nil || step <= 0 {
+			return nil, fmt.Errorf("bad range step %q (need > 0)", parts[2])
+		}
+		if hi < lo {
+			return nil, fmt.Errorf("range %q runs backwards", s)
+		}
+		n := int(math.Floor((hi-lo)/step+1e-9)) + 1
+		if n > maxAxisPoints {
+			return nil, fmt.Errorf("range %q expands to %d points (max %d)", s, n, maxAxisPoints)
+		}
+		// Each value is lo + i·step rounded back to the inputs' decimal
+		// precision, so 0:0.3:0.1 ends at 0.3, not 0.30000000000000004.
+		// Exponent-notation bounds opt out of rounding entirely.
+		prec := -1
+		if dl, ds := decimals(loStr), decimals(stepStr); dl >= 0 && ds >= 0 {
+			prec = dl
+			if ds > prec {
+				prec = ds
+			}
+		}
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = roundTo(lo+float64(i)*step, prec)
+		}
+		return out, nil
+	}
+	var out []float64
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", tok)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty value list")
+	}
+	return out, nil
+}
+
+// decimals counts the digits after the decimal point in a plain decimal
+// literal ("0.05" → 2); exponent notation opts out of precision rounding.
+func decimals(s string) int {
+	if strings.ContainsAny(s, "eE") {
+		return -1
+	}
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		return len(s) - i - 1
+	}
+	return 0
+}
+
+// roundTo rounds v to prec decimal places (no-op for out-of-range precs).
+func roundTo(v float64, prec int) float64 {
+	if prec < 0 || prec > 12 {
+		return v
+	}
+	p := math.Pow(10, float64(prec))
+	return math.Round(v*p) / p
+}
+
+func paramNames() []string {
+	ps := Params()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}

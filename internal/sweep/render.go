@@ -1,0 +1,59 @@
+package sweep
+
+import (
+	"fmt"
+
+	"repro/internal/report"
+)
+
+// Table renders the sweep as an aligned multi-metric table: one row per
+// axis point, a mean and half-width column per metric.
+func (r *Result) Table() *report.Table {
+	headers := []string{r.XLabel}
+	for _, m := range r.Metrics {
+		headers = append(headers, m.Label(), "±")
+	}
+	title := r.Title
+	if title == "" {
+		title = r.Name
+	}
+	t := report.NewTable(title, headers...)
+	for i := range r.Points {
+		pr := &r.Points[i]
+		cells := []interface{}{pr.Label}
+		for _, v := range pr.Values {
+			cells = append(cells, v.Interval.Mean, v.Interval.HalfWidth)
+		}
+		t.Addf(cells...)
+	}
+	return t
+}
+
+// Text renders the aligned table to a string.
+func (r *Result) Text() string { return r.Table().String() }
+
+// CSV renders the sweep as comma-separated values.
+func (r *Result) CSV() string { return r.Table().CSV() }
+
+// Chart renders one ASCII chart per metric (metrics have incompatible
+// scales, so each gets its own plot), concatenated.
+func (r *Result) Chart(height int) string {
+	labels := make([]string, len(r.Points))
+	for i := range r.Points {
+		labels[i] = r.Points[i].Label
+	}
+	var out string
+	for mi, m := range r.Metrics {
+		values := make([]float64, len(r.Points))
+		for i := range r.Points {
+			values[i] = r.Points[i].Values[mi].Interval.Mean
+		}
+		out += report.ChartSeries(
+			fmt.Sprintf("%s — %s", r.Name, m.Label()),
+			labels,
+			[]report.Series{{Name: m.Label(), Values: values}},
+			height,
+		)
+	}
+	return out
+}

@@ -1,0 +1,336 @@
+// Package sweep is the declarative scenario subsystem of the reproduction:
+// a generic, multi-metric parameter-sweep engine over the VOODB evaluation
+// model. The paper's whole point is genericity — one simulation model
+// instantiable for any OODB architecture and any parameter study (§3,
+// Table 3) — and this package is the experiment-layer counterpart: a Sweep
+// is *data* (a base core.Config + ocb.Params, an Axis of per-point
+// mutators, a metric selection), and one runner executes any such spec
+// through the replicated-experiment engine, reusing pooled replication
+// contexts across points and optionally sharing object bases across
+// non-generative axes (the BaseCache fast path).
+//
+// internal/experiments expresses every reproduced figure and table of the
+// paper (Fig. 6–11, Tables 6–8) as a Sweep over this engine, and
+// cmd/experiments' -sweep flag compiles a user-supplied parameter axis
+// (ParseAxis) into one; voodb re-exports the types for library studies.
+//
+// Results are deterministic: bit-identical for every Workers count and
+// with or without context pooling, exactly like the underlying engine.
+package sweep
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/ocb"
+	"repro/internal/stats"
+)
+
+// DefaultReplications is the number of replications per sweep point when
+// Options.Replications is zero. The paper's own protocol used
+// PaperReplications; the smaller default keeps interactive runs fast and
+// is shared by every harness (experiments.Options, cmd/experiments' and
+// cmd/voodb's -reps flags).
+const DefaultReplications = 10
+
+// PaperReplications is the replication count of the paper's §4.2.2 output
+// analysis (100 independent replications per point).
+const PaperReplications = 100
+
+// Point is one position on a sweep's axis: an x value, an optional display
+// label, a per-point seed offset, and a mutator that specializes the
+// sweep's base configuration and workload parameters for this point.
+type Point struct {
+	// X is the numeric axis position (table key and chart x).
+	X float64
+	// Label overrides the display label (defaults to a compact rendering
+	// of X); table-style sweeps use it to name variants ("physical",
+	// "logical").
+	Label string
+	// SeedDelta offsets the sweep seed for this point, decorrelating the
+	// random streams of different points (the figure sweeps use the swept
+	// value itself, generic axes the point index).
+	SeedDelta uint64
+	// Apply specializes the base Config/Params for this point. A nil
+	// Apply runs the base spec unchanged.
+	Apply func(cfg *core.Config, p *ocb.Params)
+}
+
+// label returns the point's display label.
+func (pt Point) label() string {
+	if pt.Label != "" {
+		return pt.Label
+	}
+	return strconv.FormatFloat(pt.X, 'g', -1, 64)
+}
+
+// Axis is a sweep's independent variable: a named series of points.
+type Axis struct {
+	// Name labels the axis ("instances", "MB", a parameter name).
+	Name string
+	// Generative declares that the axis mutates workload-generation
+	// inputs (ocb.Params): a generative axis regenerates each point's
+	// object bases and is ineligible for base sharing. Axes that only
+	// touch the system configuration (buffer size, MPL, …) leave it
+	// false, enabling the Options.ShareBases fast path.
+	Generative bool
+	// Points are the axis positions, in display order.
+	Points []Point
+}
+
+// Sweep is a declarative parameter study: a base system configuration and
+// workload, an axis of mutations, and a metric selection. The zero values
+// of Protocol/Metrics select the standard replicated-batch protocol with
+// every metric it collects.
+type Sweep struct {
+	// Name identifies the sweep (error messages, progress, chart titles).
+	Name string
+	// Title is the human-readable headline.
+	Title string
+	// Config is the base system configuration (Table 3); each point's
+	// Apply may specialize it.
+	Config core.Config
+	// Params is the base OCB parameterization (Table 5); each point's
+	// Apply may specialize it.
+	Params ocb.Params
+	// Axis is the swept variable.
+	Axis Axis
+	// Metrics selects which outputs to collect (nil = every metric of the
+	// protocol). Order is preserved in results and rendering.
+	Metrics []Metric
+	// Protocol selects the per-point experiment (standard or §4.4 DSTC).
+	Protocol Protocol
+	// Transactions and Depth parameterize the DSTC protocol's phases
+	// (defaults: the paper's 1000 transactions of depth-3 traversals).
+	// Ignored by the standard protocol.
+	Transactions int
+	Depth        int
+	// RunDescending executes points last-to-first while still reporting
+	// them in axis order. Sweeps whose object base grows along the axis
+	// (the instance-count figures) run largest-first so the pooled
+	// replication contexts reach their high-water size at the first point
+	// and every later point resets within existing capacity. Results are
+	// bit-identical either way.
+	RunDescending bool
+}
+
+// Options control one execution of a sweep.
+type Options struct {
+	// Replications per point (default DefaultReplications; the paper used
+	// PaperReplications).
+	Replications int
+	// Seed anchors all random streams; each point offsets it by its
+	// SeedDelta.
+	Seed uint64
+	// Workers bounds how many replications run concurrently per point:
+	// 0 uses all available cores, 1 forces the sequential engine. Results
+	// are bit-identical for every worker count.
+	Workers int
+	// Confidence is the Student-t level of every reported interval
+	// (default 0.95).
+	Confidence float64
+	// ShareBases shares each replication's object base across the points
+	// of a non-generative axis (the swept parameter never reaches
+	// ocb.Generate): replication r's base is generated once from the
+	// sweep-level seed and reused at every point instead of being redrawn
+	// per point from that point's own seed. This is common-random-numbers
+	// variance reduction across the axis; it changes the sampled values
+	// (each point sees the same bases rather than independently drawn
+	// ones), so it is off by default. Ignored for generative axes and the
+	// DSTC protocol. Results remain fully deterministic and identical for
+	// every worker count (pinned by TestBaseCacheTransparent).
+	ShareBases bool
+	// Pool, when non-nil, shares replication contexts beyond this sweep
+	// (several sweeps in one session); by default each run creates its
+	// own pool spanning all points. Results are identical either way.
+	Pool *core.ContextPool
+	// Progress, when non-nil, receives one line per completed point.
+	Progress func(string)
+}
+
+func (o Options) reps() int {
+	if o.Replications < 1 {
+		return DefaultReplications
+	}
+	return o.Replications
+}
+
+func (o Options) confidence() float64 {
+	if o.Confidence == 0 {
+		return 0.95
+	}
+	return o.Confidence
+}
+
+func (o Options) progress(format string, args ...interface{}) {
+	if o.Progress != nil {
+		o.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// Value is one collected metric of one point.
+type Value struct {
+	Metric   Metric
+	Interval stats.Interval
+}
+
+// PointResult is one completed sweep point: the collected metric vector
+// plus the underlying replicated aggregate for advanced consumers.
+type PointResult struct {
+	X     float64
+	Label string
+	// Values holds one interval per selected metric, in metric order.
+	Values []Value
+	// Result is the standard-protocol aggregate (nil under DSTCProtocol).
+	Result *core.Result
+	// DSTC is the DSTC-protocol aggregate (nil under Standard).
+	DSTC *core.DSTCResult
+}
+
+// Get returns the interval collected for m, if m was selected.
+func (pr *PointResult) Get(m Metric) (stats.Interval, bool) {
+	for _, v := range pr.Values {
+		if v.Metric == m {
+			return v.Interval, true
+		}
+	}
+	return stats.Interval{}, false
+}
+
+// Result is a completed sweep: every point's metric vector, in axis order.
+type Result struct {
+	Name    string
+	Title   string
+	XLabel  string // the axis name
+	Metrics []Metric
+	Points  []PointResult
+}
+
+// Validate checks the spec without running it.
+func (s *Sweep) Validate() error {
+	if len(s.Axis.Points) == 0 {
+		return fmt.Errorf("sweep %q: empty axis", s.Name)
+	}
+	if s.Protocol > DSTCProtocol {
+		return fmt.Errorf("sweep %q: unknown protocol %d", s.Name, s.Protocol)
+	}
+	for _, m := range s.Metrics {
+		if !m.ValidFor(s.Protocol) {
+			return fmt.Errorf("sweep %q: metric %q not collected by the %s protocol", s.Name, m, s.Protocol)
+		}
+	}
+	return nil
+}
+
+// metrics resolves the metric selection (nil = all for the protocol).
+func (s *Sweep) metrics() []Metric {
+	if len(s.Metrics) > 0 {
+		return s.Metrics
+	}
+	return Metrics(s.Protocol)
+}
+
+// transactions and depth apply the DSTC protocol defaults (§4.4: 1000
+// transactions, depth 3).
+func (s *Sweep) transactions() int {
+	if s.Transactions < 1 {
+		return 1000
+	}
+	return s.Transactions
+}
+
+func (s *Sweep) depth() int {
+	if s.Depth < 1 {
+		return 3
+	}
+	return s.Depth
+}
+
+// Run executes the sweep: one replicated experiment per axis point, all
+// points sharing one replication-context pool (and, when enabled and
+// eligible, one object-base cache). Points are independent replicated
+// experiments, so execution order is free; results always report in axis
+// order and are bit-identical for every worker count.
+func (s *Sweep) Run(o Options) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	metrics := s.metrics()
+	pool := o.Pool
+	if pool == nil {
+		pool = core.NewContextPool()
+	}
+	var base func(rep int, seed uint64) *ocb.Database
+	if o.ShareBases && !s.Axis.Generative && s.Protocol == Standard {
+		cache, err := NewBaseCache(s.Params, o.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("sweep %q: %w", s.Name, err)
+		}
+		base = cache.Base
+	}
+
+	res := &Result{
+		Name:    s.Name,
+		Title:   s.Title,
+		XLabel:  s.Axis.Name,
+		Metrics: metrics,
+		Points:  make([]PointResult, len(s.Axis.Points)),
+	}
+	conf := o.confidence()
+	for step := range s.Axis.Points {
+		i := step
+		if s.RunDescending {
+			i = len(s.Axis.Points) - 1 - step
+		}
+		pt := s.Axis.Points[i]
+		cfg, params := s.Config, s.Params
+		if pt.Apply != nil {
+			pt.Apply(&cfg, &params)
+		}
+		seed := o.Seed + pt.SeedDelta
+		pr := PointResult{X: pt.X, Label: pt.label()}
+		switch s.Protocol {
+		case DSTCProtocol:
+			e := core.DSTCExperiment{
+				Config:       cfg,
+				Params:       params,
+				Transactions: s.transactions(),
+				Depth:        s.depth(),
+				Seed:         seed,
+				Replications: o.reps(),
+				Workers:      o.Workers,
+				Pool:         pool,
+			}
+			dstc, err := e.Run()
+			if err != nil {
+				return nil, fmt.Errorf("%s at %s=%s: %w", s.Name, s.Axis.Name, pt.label(), err)
+			}
+			pr.DSTC = dstc
+			for _, m := range metrics {
+				pr.Values = append(pr.Values, Value{Metric: m, Interval: m.interval(nil, dstc, conf)})
+			}
+		default:
+			e := core.Experiment{
+				Config:       cfg,
+				Params:       params,
+				Seed:         seed,
+				Replications: o.reps(),
+				Workers:      o.Workers,
+				Pool:         pool,
+				Base:         base,
+			}
+			r, err := e.Run()
+			if err != nil {
+				return nil, fmt.Errorf("%s at %s=%s: %w", s.Name, s.Axis.Name, pt.label(), err)
+			}
+			pr.Result = r
+			for _, m := range metrics {
+				pr.Values = append(pr.Values, Value{Metric: m, Interval: m.interval(r, nil, conf)})
+			}
+		}
+		res.Points[i] = pr
+		o.progress("%s %s=%s: %s", s.Name, s.Axis.Name, pt.label(), pr.Values[0].Interval)
+	}
+	return res, nil
+}

@@ -10,6 +10,9 @@
 //   - replicated experiments with Student-t confidence intervals
 //     (Experiment, DSTCExperiment), run in parallel across cores with
 //     bit-identical results (the Workers field; 1 forces sequential)
+//   - declarative multi-metric parameter sweeps (Sweep, Axis, Metric):
+//     any Table 3 or OCB parameter swept over any metric subset, executed
+//     through the pooled replication engine (RunSweep, ParamAxis)
 //   - low-level model access for custom studies (NewRun)
 //
 // A minimal study:
@@ -28,9 +31,19 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/ocb"
+	"repro/internal/report"
 	"repro/internal/stats"
 	"repro/internal/storage"
+	"repro/internal/sweep"
 	"repro/internal/systems"
+)
+
+// DefaultReplications is the replication count the harnesses use when none
+// is given; PaperReplications is the count of the paper's own §4.2.2
+// protocol (pass it for paper-grade confidence intervals).
+const (
+	DefaultReplications = sweep.DefaultReplications
+	PaperReplications   = sweep.PaperReplications
 )
 
 // Config is the VOODB parameter set (Table 3 of the paper).
@@ -200,4 +213,116 @@ func RequiredReplications(pilotN int, pilotHalfWidth, desiredHalfWidth float64) 
 // BufferPolicies lists the supported PGREP values.
 func BufferPolicies() []string {
 	return []string{"RANDOM", "FIFO", "LFU", "LRU", "LRU-2", "MRU", "CLOCK", "GCLOCK", "2Q"}
+}
+
+// --- declarative sweeps ---
+//
+// A Sweep is a parameter study as data: a base Config + WorkloadParams, an
+// Axis of per-point mutations, and a metric selection. One generic runner
+// executes any spec through the pooled replication engine, collecting a
+// Student-t interval per metric per point. A minimal study:
+//
+//	axis, _ := voodb.ParseSweepAxis("mpl=1:16:5")
+//	res, err := voodb.RunSweep(voodb.Sweep{
+//		Name: "mpl-study", Config: voodb.DefaultConfig(),
+//		Params: voodb.DefaultWorkload(),
+//		Axis: axis, Metrics: []voodb.Metric{voodb.MetricIOs, voodb.MetricRespMs},
+//	}, voodb.SweepOptions{Replications: 10, Seed: 42})
+//	if err != nil { ... }
+//	fmt.Print(res.Text())
+
+// Sweep is a declarative parameter study over the evaluation model.
+type Sweep = sweep.Sweep
+
+// Axis is a sweep's independent variable: a named series of points.
+type Axis = sweep.Axis
+
+// AxisPoint is one position on a sweep axis.
+type AxisPoint = sweep.Point
+
+// Metric identifies one collected simulation output.
+type Metric = sweep.Metric
+
+// Collected metrics. The standard protocol collects the first block; the
+// DSTC protocol (Tables 6–8 style studies) the second.
+const (
+	MetricIOs         = sweep.IOs
+	MetricReads       = sweep.Reads
+	MetricWrites      = sweep.Writes
+	MetricHitPct      = sweep.HitPct
+	MetricRespMs      = sweep.RespMs
+	MetricThroughput  = sweep.ThroughputTPS
+	MetricNetMessages = sweep.NetMessages
+	MetricNetBytes    = sweep.NetBytes
+	MetricLockWaits   = sweep.LockWaits
+	MetricReorgIOs    = sweep.ReorgIOs
+
+	MetricPreIOs        = sweep.PreIOs
+	MetricOverheadIOs   = sweep.OverheadIOs
+	MetricPostIOs       = sweep.PostIOs
+	MetricGain          = sweep.Gain
+	MetricClusters      = sweep.Clusters
+	MetricObjPerCluster = sweep.ObjPerCluster
+)
+
+// SweepProtocol selects what a sweep runs at each point.
+type SweepProtocol = sweep.Protocol
+
+// Sweep protocols.
+const (
+	StandardProtocol = sweep.Standard
+	DSTCProtocol     = sweep.DSTCProtocol
+)
+
+// SweepOptions control one execution of a sweep.
+type SweepOptions = sweep.Options
+
+// SweepResult is a completed sweep: per-point metric vectors plus
+// rendering helpers (Text, CSV, Chart).
+type SweepResult = sweep.Result
+
+// SweepPoint is one completed sweep point.
+type SweepPoint = sweep.PointResult
+
+// SweepValue is one collected metric of one point.
+type SweepValue = sweep.Value
+
+// SweepParam describes one named sweepable parameter (Table 3 system knobs
+// and OCB workload knobs).
+type SweepParam = sweep.Param
+
+// RunSweep executes a declarative sweep. Results are bit-identical for
+// every Workers count, with one replication-context pool spanning all
+// points (and, with SweepOptions.ShareBases on a non-generative axis,
+// one object-base cache).
+func RunSweep(s Sweep, o SweepOptions) (*SweepResult, error) { return s.Run(o) }
+
+// SweepMetrics lists every metric the protocol collects, in display order.
+func SweepMetrics(p SweepProtocol) []Metric { return sweep.Metrics(p) }
+
+// ParseSweepMetrics parses a comma-separated metric subset ("ios,resp")
+// against the protocol's metric set; an empty list selects all.
+func ParseSweepMetrics(list string, p SweepProtocol) ([]Metric, error) {
+	return sweep.ParseMetrics(list, p)
+}
+
+// SweepParams lists every named sweepable parameter.
+func SweepParams() []SweepParam { return sweep.Params() }
+
+// ParamAxis builds an axis sweeping the named parameter over values.
+func ParamAxis(name string, values []float64) (Axis, error) {
+	return sweep.ParamAxis(name, values)
+}
+
+// ParseSweepAxis compiles a textual axis spec ("mpl=1:16:5" or
+// "writeprob=0,0.05,0.2") into an Axis.
+func ParseSweepAxis(spec string) (Axis, error) { return sweep.ParseAxis(spec) }
+
+// ChartData is one named curve of a multi-series ASCII chart.
+type ChartData = report.Series
+
+// Chart renders curves over a shared labelled x-axis — for studies that
+// compare several sweeps (e.g. one series per architecture).
+func Chart(title string, xLabels []string, series []ChartData, height int) string {
+	return report.ChartSeries(title, xLabels, series, height)
 }

@@ -73,6 +73,66 @@ func TestPresetsAndEnums(t *testing.T) {
 	}
 }
 
+// TestSweepViaFacade is the acceptance check of the declarative-sweep API:
+// a user-defined sweep over a Table 3 parameter with a metric subset runs
+// entirely through the public façade — no internal packages.
+func TestSweepViaFacade(t *testing.T) {
+	axis, err := voodb.ParseSweepAxis("mpl=1:5:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := voodb.DefaultWorkload()
+	params.NC = 10
+	params.NO = 800
+	params.HotN = 40
+	cfg := voodb.DefaultConfig()
+	cfg.BufferPages = 96
+	cfg.Users = 4
+	res, err := voodb.RunSweep(voodb.Sweep{
+		Name:    "facade-mpl",
+		Config:  cfg,
+		Params:  params,
+		Axis:    axis,
+		Metrics: []voodb.Metric{voodb.MetricIOs, voodb.MetricRespMs, voodb.MetricThroughput},
+	}, voodb.SweepOptions{Replications: 2, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for i := range res.Points {
+		if len(res.Points[i].Values) != 3 {
+			t.Fatalf("point %d metrics = %d", i, len(res.Points[i].Values))
+		}
+		ios, ok := res.Points[i].Get(voodb.MetricIOs)
+		if !ok || ios.Mean <= 0 || ios.N != 2 {
+			t.Fatalf("point %d I/Os interval: %+v", i, ios)
+		}
+	}
+	if txt := res.Text(); len(txt) == 0 {
+		t.Error("empty rendering")
+	}
+	// A custom axis built by hand, mutating the workload (generative).
+	custom := voodb.Axis{Name: "hotn", Generative: true, Points: []voodb.AxisPoint{
+		{X: 20, SeedDelta: 0, Apply: func(_ *voodb.Config, p *voodb.WorkloadParams) { p.HotN = 20 }},
+		{X: 40, SeedDelta: 1, Apply: func(_ *voodb.Config, p *voodb.WorkloadParams) { p.HotN = 40 }},
+	}}
+	res2, err := voodb.RunSweep(voodb.Sweep{
+		Name: "facade-hotn", Config: cfg, Params: params, Axis: custom,
+		Metrics: []voodb.Metric{voodb.MetricThroughput},
+	}, voodb.SweepOptions{Replications: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Points) != 2 {
+		t.Fatalf("custom axis points = %d", len(res2.Points))
+	}
+	if len(voodb.SweepParams()) < 20 || len(voodb.SweepMetrics(voodb.StandardProtocol)) != 10 {
+		t.Error("sweep registries incomplete")
+	}
+}
+
 func TestDSTCExperimentViaFacade(t *testing.T) {
 	params := voodb.DSTCWorkload()
 	params.NC = 10
