@@ -7,16 +7,21 @@
 //
 //	experiments [-run fig6|…|table8|all] [-reps N] [-seed S] [-workers W]
 //	            [-share-bases] [-csv] [-chart]
-//	experiments -sweep param=lo:hi:step [-metrics ios,resp,…]
+//	experiments -sweep param=lo:hi:step [-sweep param=A,B,…] [-metrics ios,resp,…]
 //	            [-system default|o2|texas] [-no N] [-nc N] [-hotn N] …
 //	experiments -sweep-params
 //
 // The -sweep form compiles a declarative voodb.Sweep from the flag set: a
 // base system configuration (-system, workload sizing via -no/-nc/-hotn),
-// one axis over any Table 3 / OCB parameter (-sweep, see -sweep-params
-// for names), and a metric subset (-metrics; default all). Example:
+// one axis per -sweep flag over any Table 3 / OCB parameter (see
+// -sweep-params for names and kinds), and a metric subset (-metrics;
+// default all). Numeric parameters take lo:hi:step ranges or value lists;
+// enum parameters take choice lists (or "all"); bool parameters on/off.
+// Repeating -sweep runs the full cross-product grid; two-axis grids render
+// as heatmaps under -chart. Examples:
 //
 //	experiments -sweep mpl=1:16:5 -metrics ios,resp,tps -system o2 -reps 10
+//	experiments -sweep pgrep=LRU,FIFO,RANDOM -sweep buffpages=100:1500:200 -metrics ios -chart
 package main
 
 import (
@@ -30,6 +35,17 @@ import (
 	"repro/voodb"
 )
 
+// axisSpecs collects repeated -sweep flags: one axis per occurrence, in
+// flag order (first flag = first/slowest grid axis).
+type axisSpecs []string
+
+func (a *axisSpecs) String() string { return strings.Join(*a, " ") }
+
+func (a *axisSpecs) Set(v string) error {
+	*a = append(*a, v)
+	return nil
+}
+
 func main() {
 	run := flag.String("run", "all", "experiment id (fig6…fig11, table6…table8) or 'all'")
 	reps := flag.Int("reps", experiments.DefaultReplications,
@@ -39,11 +55,12 @@ func main() {
 	shareBases := flag.Bool("share-bases", false,
 		"share each replication's object base across the points of non-generative sweeps (common random numbers; generates once per replication instead of once per point)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
-	chart := flag.Bool("chart", false, "draw ASCII charts")
+	chart := flag.Bool("chart", false, "draw ASCII charts (heatmaps for 2-axis grids)")
 	verbose := flag.Bool("v", false, "print per-point progress")
 
-	sweepSpec := flag.String("sweep", "",
-		"user-defined sweep axis, param=lo:hi:step or param=v1,v2,… (overrides -run; see -sweep-params)")
+	var sweeps axisSpecs
+	flag.Var(&sweeps, "sweep",
+		"user-defined sweep axis, param=lo:hi:step, param=v1,v2,… or param=A,B,… for enums; repeat for a cross-product grid (overrides -run; see -sweep-params)")
 	metrics := flag.String("metrics", "",
 		"comma-separated metric subset for -sweep (default: every metric)")
 	system := flag.String("system", "default",
@@ -64,9 +81,9 @@ func main() {
 		progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
 
-	if *sweepSpec != "" {
+	if len(sweeps) > 0 {
 		runUserSweep(userSweepFlags{
-			axis: *sweepSpec, metrics: *metrics, system: *system,
+			axes: sweeps, metrics: *metrics, system: *system,
 			no: *no, nc: *nc, hotn: *hotn,
 			reps: *reps, seed: *seed, workers: *workers, shareBases: *shareBases,
 			csv: *csv, chart: *chart, progress: progress,
@@ -100,22 +117,30 @@ func main() {
 
 // userSweepFlags carries the -sweep mode's flag values.
 type userSweepFlags struct {
-	axis, metrics, system string
-	no, nc, hotn          int
-	reps                  int
-	seed                  uint64
-	workers               int
-	shareBases            bool
-	csv, chart            bool
-	progress              func(string)
+	axes            []string
+	metrics, system string
+	no, nc, hotn    int
+	reps            int
+	seed            uint64
+	workers         int
+	shareBases      bool
+	csv, chart      bool
+	progress        func(string)
 }
 
 // runUserSweep compiles and executes a declarative sweep from the flags —
-// entirely through the public voodb API.
+// entirely through the public voodb API. One -sweep flag runs the classic
+// 1-D study; several run the cross-product grid.
 func runUserSweep(f userSweepFlags) {
-	axis, err := voodb.ParseSweepAxis(f.axis)
-	if err != nil {
-		fatal(err)
+	axes := make([]voodb.Axis, len(f.axes))
+	names := make([]string, len(f.axes))
+	for i, spec := range f.axes {
+		axis, err := voodb.ParseSweepAxis(spec)
+		if err != nil {
+			fatal(err)
+		}
+		axes[i] = axis
+		names[i] = axis.Name
 	}
 	ms, err := voodb.ParseSweepMetrics(f.metrics, voodb.StandardProtocol)
 	if err != nil {
@@ -143,12 +168,16 @@ func runUserSweep(f userSweepFlags) {
 		params.HotN = f.hotn
 	}
 	s := voodb.Sweep{
-		Name:    "sweep-" + axis.Name,
-		Title:   fmt.Sprintf("%s sweep (%s system, NC=%d, NO=%d)", axis.Name, f.system, params.NC, params.NO),
+		Name:    "sweep-" + strings.Join(names, "-x-"),
+		Title:   fmt.Sprintf("%s sweep (%s system, NC=%d, NO=%d)", strings.Join(names, " × "), f.system, params.NC, params.NO),
 		Config:  cfg,
 		Params:  params,
-		Axis:    axis,
 		Metrics: ms,
+	}
+	if len(axes) == 1 {
+		s.Axis = axes[0]
+	} else {
+		s.Axes = voodb.Grid(axes...)
 	}
 	res, err := voodb.RunSweep(s, voodb.SweepOptions{
 		Replications: f.reps,
@@ -160,25 +189,50 @@ func runUserSweep(f userSweepFlags) {
 	if err != nil {
 		fatal(err)
 	}
-	if f.csv {
+	switch {
+	case f.csv:
 		fmt.Print(res.CSV())
-	} else {
+	case res.Dims() > 1:
+		for _, t := range res.FacetTables() {
+			fmt.Println(t.String())
+		}
+	default:
 		fmt.Println(res.Text())
 	}
 	if f.chart {
-		fmt.Print(res.Chart(12))
+		if res.Dims() == 2 {
+			for _, m := range ms {
+				hm, err := res.Heatmap(m)
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Println(hm)
+			}
+		} else {
+			fmt.Print(res.Chart(12))
+		}
 	}
 }
 
+// printSweepParams lists the registry: each parameter's kind and, for
+// enums, its legal choices — so `-sweep-params` tells numeric ranges,
+// choice lists and switches apart.
 func printSweepParams() {
-	t := report.NewTable("sweepable parameters (-sweep name=lo:hi:step or name=v1,v2,…)",
-		"name", "generative", "description")
+	t := report.NewTable("sweepable parameters (-sweep name=lo:hi:step, name=v1,v2,… or name=A,B,…; repeat -sweep for a grid)",
+		"name", "kind", "generative", "values", "description")
 	for _, p := range voodb.SweepParams() {
 		gen := ""
 		if p.Generative {
 			gen = "yes"
 		}
-		t.AddRow(p.Name, gen, p.Doc)
+		values := ""
+		switch p.Kind {
+		case voodb.EnumParam:
+			values = strings.Join(p.Choices, ",")
+		case voodb.BoolParam:
+			values = "on,off"
+		}
+		t.AddRow(p.Name, p.Kind.String(), gen, values, p.Doc)
 	}
 	fmt.Println(t.String())
 	fmt.Println("generative parameters feed object-base/workload generation; sweeps over them regenerate bases per point and ignore -share-bases")

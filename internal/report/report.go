@@ -171,6 +171,94 @@ type Series struct {
 	Values []float64
 }
 
+// heatRamp orders the shading characters of a heatmap cell from coldest to
+// hottest.
+const heatRamp = " .:-=+*#%@"
+
+// Heatmap renders a 2-D value grid as text: an aligned numeric matrix
+// (rows × columns) followed by a compact shade map, one ramp character per
+// cell, normalized from the grid's minimum (' ') to its maximum ('@').
+// values is indexed [row][col]; rowAxis/colAxis name the two dimensions.
+func Heatmap(title, rowAxis, colAxis string, rowLabels, colLabels []string, values [][]float64) string {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range values {
+		for _, v := range row {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if lo > hi { // empty or all-NaN grid
+		lo, hi = 0, 0
+	}
+
+	// Numeric matrix: first column is the row label, headed by
+	// "rowAxis \ colAxis".
+	corner := rowAxis + ` \ ` + colAxis
+	t := NewTable("", append([]string{corner}, colLabels...)...)
+	for r, label := range rowLabels {
+		cells := make([]string, 0, 1+len(colLabels))
+		cells = append(cells, label)
+		for c := range colLabels {
+			v := math.NaN()
+			if r < len(values) && c < len(values[r]) {
+				v = values[r][c]
+			}
+			cells = append(cells, FormatFloat(v))
+		}
+		t.AddRow(cells...)
+	}
+
+	// Shade map: one ramp character per cell, row labels aligned.
+	labw := len(corner)
+	for _, l := range rowLabels {
+		if len(l) > labw {
+			labw = len(l)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	b.WriteString(t.String())
+	b.WriteByte('\n')
+	for r, label := range rowLabels {
+		fmt.Fprintf(&b, "%-*s  ", labw, label)
+		for c := range colLabels {
+			ch := heatRamp[0]
+			if r < len(values) && c < len(values[r]) && !math.IsNaN(values[r][c]) {
+				ch = heatShade(values[r][c], lo, hi)
+			}
+			b.WriteByte(ch)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-*s  scale %q  min=%s  max=%s\n",
+		labw, "", heatRamp, FormatFloat(lo), FormatFloat(hi))
+	return b.String()
+}
+
+// heatShade maps v in [lo, hi] onto the ramp.
+func heatShade(v, lo, hi float64) byte {
+	if hi <= lo {
+		return heatRamp[len(heatRamp)/2]
+	}
+	i := int((v - lo) / (hi - lo) * float64(len(heatRamp)-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(heatRamp) {
+		i = len(heatRamp) - 1
+	}
+	return heatRamp[i]
+}
+
 // ChartSeries renders an ASCII chart of the given curves over a shared
 // labelled x-axis, with the legend in slice order — the multi-metric /
 // multi-variant form used by sweep reports, where the x positions may be

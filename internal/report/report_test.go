@@ -92,3 +92,37 @@ func TestChartDegenerate(t *testing.T) {
 		t.Fatal("empty chart")
 	}
 }
+
+func TestHeatmap(t *testing.T) {
+	out := Heatmap("Grid", "policy", "pages",
+		[]string{"LRU", "FIFO"}, []string{"64", "128", "256"},
+		[][]float64{{9, 5, 1}, {8, 4, 2}})
+	for _, want := range []string{"Grid", `policy \ pages`, "LRU", "FIFO", "64", "256", "scale", "min=1", "max=9"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("heatmap missing %q:\n%s", want, out)
+		}
+	}
+	// The grid minimum shades coldest (' '), the maximum hottest ('@').
+	lines := strings.Split(out, "\n")
+	var shadeLRU string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "LRU") && !strings.Contains(l, "9") {
+			shadeLRU = l
+		}
+	}
+	if !strings.Contains(shadeLRU, "@") || !strings.HasSuffix(shadeLRU, " ") {
+		t.Errorf("LRU shade row wrong: %q", shadeLRU)
+	}
+}
+
+func TestHeatmapDegenerate(t *testing.T) {
+	// Uniform values must not divide by zero; a ragged/NaN grid renders
+	// blanks instead of panicking.
+	if out := Heatmap("", "r", "c", []string{"a"}, []string{"x", "y"}, [][]float64{{3, 3}}); out == "" {
+		t.Fatal("empty uniform heatmap")
+	}
+	out := Heatmap("", "r", "c", []string{"a", "b"}, []string{"x", "y"}, [][]float64{{1}})
+	if !strings.Contains(out, "NaN") {
+		t.Errorf("missing cells not marked:\n%s", out)
+	}
+}

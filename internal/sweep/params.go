@@ -9,86 +9,277 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ocb"
+	"repro/internal/storage"
 )
 
+// Kind classifies a parameter's value domain. The paper's Table 3 mixes
+// continuous knobs (NETTHRU, disk times), integer counts (BUFFSIZE,
+// MULTILVL), categorical selectors (SYSCLASS, PGREP, INITPL, CLUSTP) and
+// switches (DSTC on/off); the kind drives parsing, axis construction and
+// display so every column of the table is sweepable through the same
+// registry.
+type Kind uint8
+
+const (
+	// KindNumeric is a continuous float64 parameter.
+	KindNumeric Kind = iota
+	// KindInteger is a numeric parameter rounded to whole values.
+	KindInteger
+	// KindEnum is a categorical parameter drawing from Param.Choices.
+	KindEnum
+	// KindBool is an on/off switch.
+	KindBool
+)
+
+// String returns the kind name as shown by -sweep-params.
+func (k Kind) String() string {
+	switch k {
+	case KindNumeric:
+		return "numeric"
+	case KindInteger:
+		return "integer"
+	case KindEnum:
+		return "enum"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("Kind(%d)", k)
+	}
+}
+
+// ParamValue is one typed parameter value: the unit every axis point
+// carries and every Param.Apply consumes. Numeric kinds use Num, enums use
+// Str (canonical registry spelling), bools use Bit.
+type ParamValue struct {
+	Kind Kind
+	Num  float64
+	Str  string
+	Bit  bool
+}
+
+// NumValue returns a numeric value (used for both KindNumeric and
+// KindInteger parameters; integer parameters round on application).
+func NumValue(v float64) ParamValue { return ParamValue{Kind: KindNumeric, Num: v} }
+
+// IntValue returns an integer value.
+func IntValue(v int) ParamValue { return ParamValue{Kind: KindInteger, Num: float64(v)} }
+
+// EnumValue returns an enum value. The string should be a canonical choice
+// of the target parameter (ParamValueAxis canonicalizes on construction).
+func EnumValue(s string) ParamValue { return ParamValue{Kind: KindEnum, Str: s} }
+
+// BoolValue returns a switch value.
+func BoolValue(b bool) ParamValue { return ParamValue{Kind: KindBool, Bit: b} }
+
+// Float returns the value's numeric axis position: the number itself for
+// numeric kinds, 0/1 for bools. Enums have no intrinsic position (axes
+// place them by index) and return 0.
+func (v ParamValue) Float() float64 {
+	switch v.Kind {
+	case KindBool:
+		if v.Bit {
+			return 1
+		}
+		return 0
+	case KindEnum:
+		return 0
+	default:
+		return v.Num
+	}
+}
+
+// String returns the value's display label.
+func (v ParamValue) String() string {
+	switch v.Kind {
+	case KindEnum:
+		return v.Str
+	case KindBool:
+		if v.Bit {
+			return "on"
+		}
+		return "off"
+	case KindInteger:
+		return strconv.FormatFloat(math.Round(v.Num), 'f', -1, 64)
+	default:
+		return strconv.FormatFloat(v.Num, 'g', -1, 64)
+	}
+}
+
 // Param is one sweepable parameter: a Table 3 system knob or an OCB
-// workload knob, addressable by name from the CLI (-sweep name=lo:hi:step)
-// and from library code (ParamAxis).
+// workload knob, addressable by name from the CLI
+// (-sweep name=lo:hi:step, -sweep name=A,B,C) and from library code
+// (ParamAxis, EnumAxis).
 type Param struct {
 	// Name is the CLI-facing identifier (lower case).
 	Name string
 	// Doc is a one-line description with the paper's parameter code.
 	Doc string
+	// Kind is the value domain (numeric, integer, enum, bool).
+	Kind Kind
+	// Choices lists the legal values of an enum parameter, in canonical
+	// spelling and display order; nil for other kinds.
+	Choices []string
 	// Generative marks parameters that feed ocb workload/base generation;
 	// axes over them regenerate bases per point and are ineligible for
 	// base sharing.
 	Generative bool
-	// Integer marks parameters whose values are rounded to integers.
-	Integer bool
+	// Conflicts names the configuration field this parameter writes when
+	// another registered parameter writes it too (e.g. both "dstc" and
+	// "clustp" set Config.Clustering). Grids refuse axes over conflicting
+	// parameters: the later axis would silently overwrite the earlier
+	// one's setting in every cell.
+	Conflicts string
 	// Apply writes value v into the configuration/parameters.
-	Apply func(cfg *core.Config, p *ocb.Params, v float64)
+	Apply func(cfg *core.Config, p *ocb.Params, v ParamValue)
+}
+
+// numParam registers a continuous Table 3 / OCB knob.
+func numParam(name, doc string, generative bool, apply func(*core.Config, *ocb.Params, float64)) Param {
+	return Param{Name: name, Doc: doc, Kind: KindNumeric, Generative: generative,
+		Apply: func(cfg *core.Config, p *ocb.Params, v ParamValue) { apply(cfg, p, v.Num) }}
+}
+
+// intParam registers an integer-valued knob; applications round.
+func intParam(name, doc string, generative bool, apply func(*core.Config, *ocb.Params, int)) Param {
+	return Param{Name: name, Doc: doc, Kind: KindInteger, Generative: generative,
+		Apply: func(cfg *core.Config, p *ocb.Params, v ParamValue) { apply(cfg, p, int(math.Round(v.Num))) }}
+}
+
+// enumParam registers a categorical knob over the given canonical choices.
+func enumParam(name, doc string, choices []string, apply func(*core.Config, *ocb.Params, string)) Param {
+	return Param{Name: name, Doc: doc, Kind: KindEnum, Choices: choices,
+		Apply: func(cfg *core.Config, p *ocb.Params, v ParamValue) { apply(cfg, p, v.Str) }}
+}
+
+// boolParam registers an on/off switch.
+func boolParam(name, doc string, apply func(*core.Config, *ocb.Params, bool)) Param {
+	return Param{Name: name, Doc: doc, Kind: KindBool,
+		Apply: func(cfg *core.Config, p *ocb.Params, v ParamValue) { apply(cfg, p, v.Bit) }}
+}
+
+// withConflict marks a parameter as writing the named configuration field
+// shared with other registered parameters.
+func withConflict(field string, p Param) Param {
+	p.Conflicts = field
+	return p
+}
+
+// Canonical enum choice lists. SystemClasses and Placements use
+// CLI-friendly lower-case names; buffer policies keep their PGREP
+// spelling (matching buffer.NewPolicy and voodb.BufferPolicies).
+var (
+	systemClassChoices  = []string{"centralized", "objectserver", "pageserver", "dbserver"}
+	bufferPolicyChoices = []string{"RANDOM", "FIFO", "LFU", "LRU", "LRU-2", "MRU", "CLOCK", "GCLOCK", "2Q"}
+	placementChoices    = []string{"sequential", "optimized"}
+	clusteringChoices   = []string{"none", "dstc", "greedygraph"}
+	prefetchChoices     = []string{"none", "oneahead"}
+)
+
+var systemClassByName = map[string]core.SystemClass{
+	"centralized":  core.Centralized,
+	"objectserver": core.ObjectServer,
+	"pageserver":   core.PageServer,
+	"dbserver":     core.DBServer,
+}
+
+var placementByName = map[string]storage.Placement{
+	"sequential": storage.Sequential,
+	"optimized":  storage.OptimizedSequential,
+}
+
+var clusteringByName = map[string]core.ClusteringKind{
+	"none":        core.NoClustering,
+	"dstc":        core.DSTC,
+	"greedygraph": core.GreedyGraph,
+}
+
+var prefetchByName = map[string]core.PrefetchKind{
+	"none":     core.NoPrefetch,
+	"oneahead": core.OneAhead,
 }
 
 // paramTable registers every sweepable parameter. Config-level knobs come
-// first (Table 3 codes), then the OCB generation knobs (all generative).
+// first (Table 3 codes) — numeric, then the categorical/switch selectors —
+// then the OCB generation knobs (all generative).
 var paramTable = []Param{
-	{Name: "mpl", Doc: "multiprogramming level (MULTILVL)", Integer: true,
-		Apply: func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.MPL = int(v) }},
-	{Name: "users", Doc: "number of users (NUSERS)", Integer: true,
-		Apply: func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.Users = int(v) }},
-	{Name: "buffpages", Doc: "buffer size in pages (BUFFSIZE)", Integer: true,
-		Apply: func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.BufferPages = int(v) }},
-	{Name: "pagesize", Doc: "page size in bytes (PGSIZE)", Integer: true,
-		Apply: func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.PageSize = int(v) }},
-	{Name: "netthru", Doc: "network throughput in MB/s (NETTHRU)",
-		Apply: func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.NetThroughputMBps = v }},
-	{Name: "netlat", Doc: "per-message network latency in ms",
-		Apply: func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.NetLatencyMs = v }},
-	{Name: "thinktime", Doc: "user think time in ms",
-		Apply: func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.ThinkTimeMs = v }},
-	{Name: "servercpus", Doc: "server processors (Table 1 passive resource)", Integer: true,
-		Apply: func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.ServerCPUs = int(v) }},
-	{Name: "objcpu", Doc: "CPU cost per object access in ms",
-		Apply: func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.ObjectCPUMs = v }},
-	{Name: "getlock", Doc: "lock acquisition time in ms (GETLOCK)",
-		Apply: func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.GetLockMs = v }},
-	{Name: "rellock", Doc: "lock release time in ms (RELLOCK)",
-		Apply: func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.RelLockMs = v }},
-	{Name: "diskseek", Doc: "disk seek time in ms (DISKSEA)",
-		Apply: func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.DiskSeekMs = v }},
-	{Name: "disklat", Doc: "disk latency in ms (DISKLAT)",
-		Apply: func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.DiskLatencyMs = v }},
-	{Name: "disktra", Doc: "disk transfer time in ms (DISKTRA)",
-		Apply: func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.DiskTransferMs = v }},
+	intParam("mpl", "multiprogramming level (MULTILVL)", false,
+		func(cfg *core.Config, _ *ocb.Params, v int) { cfg.MPL = v }),
+	intParam("users", "number of users (NUSERS)", false,
+		func(cfg *core.Config, _ *ocb.Params, v int) { cfg.Users = v }),
+	intParam("buffpages", "buffer size in pages (BUFFSIZE)", false,
+		func(cfg *core.Config, _ *ocb.Params, v int) { cfg.BufferPages = v }),
+	intParam("pagesize", "page size in bytes (PGSIZE)", false,
+		func(cfg *core.Config, _ *ocb.Params, v int) { cfg.PageSize = v }),
+	numParam("netthru", "network throughput in MB/s (NETTHRU)", false,
+		func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.NetThroughputMBps = v }),
+	numParam("netlat", "per-message network latency in ms", false,
+		func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.NetLatencyMs = v }),
+	numParam("thinktime", "user think time in ms", false,
+		func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.ThinkTimeMs = v }),
+	intParam("servercpus", "server processors (Table 1 passive resource)", false,
+		func(cfg *core.Config, _ *ocb.Params, v int) { cfg.ServerCPUs = v }),
+	numParam("objcpu", "CPU cost per object access in ms", false,
+		func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.ObjectCPUMs = v }),
+	numParam("getlock", "lock acquisition time in ms (GETLOCK)", false,
+		func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.GetLockMs = v }),
+	numParam("rellock", "lock release time in ms (RELLOCK)", false,
+		func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.RelLockMs = v }),
+	numParam("diskseek", "disk seek time in ms (DISKSEA)", false,
+		func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.DiskSeekMs = v }),
+	numParam("disklat", "disk latency in ms (DISKLAT)", false,
+		func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.DiskLatencyMs = v }),
+	numParam("disktra", "disk transfer time in ms (DISKTRA)", false,
+		func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.DiskTransferMs = v }),
 
-	{Name: "no", Doc: "object-base instances (OCB NO)", Generative: true, Integer: true,
-		Apply: func(_ *core.Config, p *ocb.Params, v float64) { p.NO = int(v) }},
-	{Name: "nc", Doc: "schema classes (OCB NC)", Generative: true, Integer: true,
-		Apply: func(_ *core.Config, p *ocb.Params, v float64) { p.NC = int(v) }},
-	{Name: "maxnref", Doc: "max references per class (OCB MAXNREF)", Generative: true, Integer: true,
-		Apply: func(_ *core.Config, p *ocb.Params, v float64) { p.MaxNRef = int(v) }},
-	{Name: "basesize", Doc: "base instance size in bytes (OCB BASESIZE)", Generative: true, Integer: true,
-		Apply: func(_ *core.Config, p *ocb.Params, v float64) { p.BaseSize = int(v) }},
-	{Name: "hotn", Doc: "measured transactions (OCB HOTN)", Generative: true, Integer: true,
-		Apply: func(_ *core.Config, p *ocb.Params, v float64) { p.HotN = int(v) }},
-	{Name: "coldn", Doc: "unmeasured cold transactions (OCB COLDN)", Generative: true, Integer: true,
-		Apply: func(_ *core.Config, p *ocb.Params, v float64) { p.ColdN = int(v) }},
-	{Name: "writeprob", Doc: "per-access update probability", Generative: true,
-		Apply: func(_ *core.Config, p *ocb.Params, v float64) { p.WriteProb = v }},
-	{Name: "setdepth", Doc: "set-oriented access depth (OCB SETDEPTH)", Generative: true, Integer: true,
-		Apply: func(_ *core.Config, p *ocb.Params, v float64) { p.SetDepth = int(v) }},
-	{Name: "simdepth", Doc: "simple traversal depth (OCB SIMDEPTH)", Generative: true, Integer: true,
-		Apply: func(_ *core.Config, p *ocb.Params, v float64) { p.SimDepth = int(v) }},
-	{Name: "hiedepth", Doc: "hierarchy traversal depth (OCB HIEDEPTH)", Generative: true, Integer: true,
-		Apply: func(_ *core.Config, p *ocb.Params, v float64) { p.HieDepth = int(v) }},
-	{Name: "stodepth", Doc: "stochastic traversal depth (OCB STODEPTH)", Generative: true, Integer: true,
-		Apply: func(_ *core.Config, p *ocb.Params, v float64) { p.StoDepth = int(v) }},
-	{Name: "hotroots", Doc: "hot traversal-root population (0 = unbounded)", Generative: true, Integer: true,
-		Apply: func(_ *core.Config, p *ocb.Params, v float64) { p.HotRootCount = int(v) }},
-	{Name: "objlocality", Doc: "object reference locality (OCB OLOCREF)", Generative: true, Integer: true,
-		Apply: func(_ *core.Config, p *ocb.Params, v float64) { p.ObjectLocality = int(v) }},
-	{Name: "classlocality", Doc: "class reference locality (OCB CLOCREF)", Generative: true, Integer: true,
-		Apply: func(_ *core.Config, p *ocb.Params, v float64) { p.ClassLocality = int(v) }},
+	enumParam("sysclass", "system class architecture (SYSCLASS)", systemClassChoices,
+		func(cfg *core.Config, _ *ocb.Params, v string) { cfg.System = systemClassByName[v] }),
+	enumParam("pgrep", "buffer page replacement policy (PGREP)", bufferPolicyChoices,
+		func(cfg *core.Config, _ *ocb.Params, v string) { cfg.BufferPolicy = v }),
+	enumParam("initpl", "initial object placement (INITPL)", placementChoices,
+		func(cfg *core.Config, _ *ocb.Params, v string) { cfg.Placement = placementByName[v] }),
+	withConflict("clustering", enumParam("clustp", "clustering policy module (CLUSTP)", clusteringChoices,
+		func(cfg *core.Config, _ *ocb.Params, v string) { cfg.Clustering = clusteringByName[v] })),
+	enumParam("prefetch", "prefetching policy (PREFETCH)", prefetchChoices,
+		func(cfg *core.Config, _ *ocb.Params, v string) { cfg.Prefetch = prefetchByName[v] }),
+	withConflict("clustering", boolParam("dstc", "DSTC clustering on/off (CLUSTP shorthand)",
+		func(cfg *core.Config, _ *ocb.Params, v bool) {
+			if v {
+				cfg.Clustering = core.DSTC
+			} else {
+				cfg.Clustering = core.NoClustering
+			}
+		})),
+	boolParam("physoids", "physical OIDs (Texas-style reference fixup on reorganization)",
+		func(cfg *core.Config, _ *ocb.Params, v bool) { cfg.PhysicalOIDs = v }),
+
+	intParam("no", "object-base instances (OCB NO)", true,
+		func(_ *core.Config, p *ocb.Params, v int) { p.NO = v }),
+	intParam("nc", "schema classes (OCB NC)", true,
+		func(_ *core.Config, p *ocb.Params, v int) { p.NC = v }),
+	intParam("maxnref", "max references per class (OCB MAXNREF)", true,
+		func(_ *core.Config, p *ocb.Params, v int) { p.MaxNRef = v }),
+	intParam("basesize", "base instance size in bytes (OCB BASESIZE)", true,
+		func(_ *core.Config, p *ocb.Params, v int) { p.BaseSize = v }),
+	intParam("hotn", "measured transactions (OCB HOTN)", true,
+		func(_ *core.Config, p *ocb.Params, v int) { p.HotN = v }),
+	intParam("coldn", "unmeasured cold transactions (OCB COLDN)", true,
+		func(_ *core.Config, p *ocb.Params, v int) { p.ColdN = v }),
+	numParam("writeprob", "per-access update probability", true,
+		func(_ *core.Config, p *ocb.Params, v float64) { p.WriteProb = v }),
+	intParam("setdepth", "set-oriented access depth (OCB SETDEPTH)", true,
+		func(_ *core.Config, p *ocb.Params, v int) { p.SetDepth = v }),
+	intParam("simdepth", "simple traversal depth (OCB SIMDEPTH)", true,
+		func(_ *core.Config, p *ocb.Params, v int) { p.SimDepth = v }),
+	intParam("hiedepth", "hierarchy traversal depth (OCB HIEDEPTH)", true,
+		func(_ *core.Config, p *ocb.Params, v int) { p.HieDepth = v }),
+	intParam("stodepth", "stochastic traversal depth (OCB STODEPTH)", true,
+		func(_ *core.Config, p *ocb.Params, v int) { p.StoDepth = v }),
+	intParam("hotroots", "hot traversal-root population (0 = unbounded)", true,
+		func(_ *core.Config, p *ocb.Params, v int) { p.HotRootCount = v }),
+	intParam("objlocality", "object reference locality (OCB OLOCREF)", true,
+		func(_ *core.Config, p *ocb.Params, v int) { p.ObjectLocality = v }),
+	intParam("classlocality", "class reference locality (OCB CLOCREF)", true,
+		func(_ *core.Config, p *ocb.Params, v int) { p.ClassLocality = v }),
 }
 
 // Params lists every sweepable parameter, sorted by name.
@@ -109,10 +300,24 @@ func LookupParam(name string) (Param, bool) {
 	return Param{}, false
 }
 
-// ParamAxis builds an axis sweeping the named parameter over the given
-// values. Point i uses SeedDelta i, so points draw decorrelated random
-// streams regardless of the value scale.
-func ParamAxis(name string, values []float64) (Axis, error) {
+// canonicalChoice matches tok case-insensitively against the parameter's
+// choice list, returning the canonical spelling.
+func (p Param) canonicalChoice(tok string) (string, error) {
+	for _, c := range p.Choices {
+		if strings.EqualFold(c, strings.TrimSpace(tok)) {
+			return c, nil
+		}
+	}
+	return "", fmt.Errorf("parameter %q has no choice %q (have %s)",
+		p.Name, tok, strings.Join(p.Choices, ","))
+}
+
+// ParamValueAxis builds an axis sweeping the named parameter over typed
+// values — the general constructor behind ParamAxis (numeric values) and
+// EnumAxis (choice lists). Point i uses SeedDelta i, so points draw
+// decorrelated random streams regardless of the value scale; enum and bool
+// points take their axis position X from the value's index.
+func ParamValueAxis(name string, values []ParamValue) (Axis, error) {
 	param, ok := LookupParam(name)
 	if !ok {
 		return Axis{}, fmt.Errorf("sweep: unknown parameter %q (have %s)", name, strings.Join(paramNames(), ","))
@@ -121,42 +326,197 @@ func ParamAxis(name string, values []float64) (Axis, error) {
 		return Axis{}, fmt.Errorf("sweep: no values for parameter %q", name)
 	}
 	axis := Axis{Name: param.Name, Generative: param.Generative}
-	seen := make(map[float64]bool, len(values))
+	seen := make(map[ParamValue]bool, len(values))
 	for _, v := range values {
-		if param.Integer {
+		v := v
+		switch param.Kind {
+		case KindEnum:
+			if v.Kind != KindEnum {
+				return Axis{}, fmt.Errorf("sweep: parameter %q is an enum; value %v is not", param.Name, v)
+			}
+			canon, err := param.canonicalChoice(v.Str)
+			if err != nil {
+				return Axis{}, fmt.Errorf("sweep: %w", err)
+			}
+			v.Str = canon
+		case KindBool:
+			switch v.Kind {
+			case KindBool:
+			case KindNumeric, KindInteger:
+				// Numeric 0/1 coerces, easing ParamAxis use on switches.
+				switch v.Num {
+				case 0:
+					v = BoolValue(false)
+				case 1:
+					v = BoolValue(true)
+				default:
+					return Axis{}, fmt.Errorf("sweep: parameter %q is a switch; value %v is not 0/1", param.Name, v.Num)
+				}
+			default:
+				return Axis{}, fmt.Errorf("sweep: parameter %q is a switch; value %v is not", param.Name, v)
+			}
+		case KindInteger:
+			if v.Kind != KindNumeric && v.Kind != KindInteger {
+				return Axis{}, fmt.Errorf("sweep: parameter %q is numeric; value %v is not", param.Name, v)
+			}
 			// Rounding can collapse neighbours (mpl=1:3:0.5 → 1,2,2,3,3);
 			// duplicate positions would rerun the same point under a
 			// different seed, so they are dropped.
-			v = math.Round(v)
+			v = ParamValue{Kind: KindInteger, Num: math.Round(v.Num)}
+		default: // KindNumeric
+			if v.Kind != KindNumeric && v.Kind != KindInteger {
+				return Axis{}, fmt.Errorf("sweep: parameter %q is numeric; value %v is not", param.Name, v)
+			}
+			v = ParamValue{Kind: KindNumeric, Num: v.Num}
 		}
 		if seen[v] {
 			continue
 		}
 		seen[v] = true
-		v := v
+		x := v.Float()
+		label := ""
+		if param.Kind == KindEnum || param.Kind == KindBool {
+			// Categorical axis positions are list indices; the label carries
+			// the choice.
+			x = float64(len(axis.Points))
+			label = v.String()
+		}
+		val := v
 		axis.Points = append(axis.Points, Point{
-			X:         v,
+			X:         x,
+			Label:     label,
 			SeedDelta: uint64(len(axis.Points)),
-			Apply:     func(cfg *core.Config, p *ocb.Params) { param.Apply(cfg, p, v) },
+			Apply:     func(cfg *core.Config, p *ocb.Params) { param.Apply(cfg, p, val) },
 		})
 	}
 	return axis, nil
 }
 
-// ParseAxis compiles a CLI axis spec into an Axis. Two forms are accepted:
+// ParamAxis builds an axis sweeping the named parameter over the given
+// numeric values (bool parameters accept 0/1). Enum parameters need
+// EnumAxis or the name=A,B,C spec form.
+func ParamAxis(name string, values []float64) (Axis, error) {
+	vals := make([]ParamValue, len(values))
+	for i, v := range values {
+		vals[i] = NumValue(v)
+	}
+	return ParamValueAxis(name, vals)
+}
+
+// EnumAxis builds an axis sweeping an enum parameter over the given
+// choices (case-insensitive; canonicalized against the registry). Passing
+// no choices sweeps every registered choice of the parameter.
+func EnumAxis(name string, choices ...string) (Axis, error) {
+	if len(choices) == 0 {
+		param, ok := LookupParam(name)
+		if !ok {
+			return Axis{}, fmt.Errorf("sweep: unknown parameter %q (have %s)", name, strings.Join(paramNames(), ","))
+		}
+		if param.Kind != KindEnum {
+			return Axis{}, fmt.Errorf("sweep: parameter %q is %s, not an enum", param.Name, param.Kind)
+		}
+		choices = param.Choices
+	}
+	vals := make([]ParamValue, len(choices))
+	for i, c := range choices {
+		vals[i] = EnumValue(c)
+	}
+	return ParamValueAxis(name, vals)
+}
+
+// BoolAxis builds an on/off axis over a switch parameter.
+func BoolAxis(name string, values ...bool) (Axis, error) {
+	if len(values) == 0 {
+		values = []bool{false, true}
+	}
+	vals := make([]ParamValue, len(values))
+	for i, b := range values {
+		vals[i] = BoolValue(b)
+	}
+	return ParamValueAxis(name, vals)
+}
+
+// ParseAxis compiles a CLI axis spec into an Axis. The accepted forms
+// depend on the parameter's kind:
 //
-//	name=lo:hi:step   inclusive range (step > 0)
-//	name=v1,v2,v3     explicit value list
+//	numeric/integer   name=lo:hi:step   inclusive range (step > 0)
+//	                  name=v1,v2,v3     explicit value list
+//	enum              name=A,B,C        choice list (case-insensitive)
+//	                  name=all          every registered choice
+//	bool              name=on,off       (also true/false/1/0; name=all)
 func ParseAxis(spec string) (Axis, error) {
 	name, vals, ok := strings.Cut(spec, "=")
 	if !ok {
 		return Axis{}, fmt.Errorf("sweep: axis spec %q is not name=values", spec)
 	}
-	values, err := parseValues(vals)
-	if err != nil {
-		return Axis{}, fmt.Errorf("sweep: axis %q: %w", spec, err)
+	param, found := LookupParam(name)
+	if !found {
+		return Axis{}, fmt.Errorf("sweep: unknown parameter %q (have %s)", strings.TrimSpace(name), strings.Join(paramNames(), ","))
 	}
-	return ParamAxis(name, values)
+	switch param.Kind {
+	case KindEnum:
+		if strings.EqualFold(strings.TrimSpace(vals), "all") {
+			return EnumAxis(param.Name)
+		}
+		choices, err := splitList(vals)
+		if err != nil {
+			return Axis{}, fmt.Errorf("sweep: axis %q: %w", spec, err)
+		}
+		// EnumAxis errors already carry the parameter name and its legal
+		// choices; no extra wrapping needed.
+		return EnumAxis(param.Name, choices...)
+	case KindBool:
+		if strings.EqualFold(strings.TrimSpace(vals), "all") {
+			return BoolAxis(param.Name)
+		}
+		toks, err := splitList(vals)
+		if err != nil {
+			return Axis{}, fmt.Errorf("sweep: axis %q: %w", spec, err)
+		}
+		bools := make([]bool, len(toks))
+		for i, tok := range toks {
+			b, err := parseBool(tok)
+			if err != nil {
+				return Axis{}, fmt.Errorf("sweep: axis %q: %w", spec, err)
+			}
+			bools[i] = b
+		}
+		return BoolAxis(param.Name, bools...)
+	default:
+		values, err := parseValues(vals)
+		if err != nil {
+			return Axis{}, fmt.Errorf("sweep: axis %q: %w", spec, err)
+		}
+		return ParamAxis(param.Name, values)
+	}
+}
+
+// splitList splits a comma list into trimmed non-empty tokens.
+func splitList(s string) ([]string, error) {
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		out = append(out, tok)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty value list")
+	}
+	return out, nil
+}
+
+// parseBool reads a switch token (on/off, true/false, 1/0, yes/no).
+func parseBool(tok string) (bool, error) {
+	switch strings.ToLower(strings.TrimSpace(tok)) {
+	case "on", "true", "1", "yes":
+		return true, nil
+	case "off", "false", "0", "no":
+		return false, nil
+	default:
+		return false, fmt.Errorf("bad switch value %q (on/off)", tok)
+	}
 }
 
 // maxAxisPoints bounds how many points a range may expand to: one

@@ -150,6 +150,15 @@ func TestParamsRegistry(t *testing.T) {
 		if p.Doc == "" || p.Apply == nil {
 			t.Fatalf("parameter %q missing doc or apply", p.Name)
 		}
+		if p.Kind == KindEnum && len(p.Choices) < 2 {
+			t.Fatalf("enum parameter %q has choices %v", p.Name, p.Choices)
+		}
+		if p.Kind != KindEnum && p.Choices != nil {
+			t.Fatalf("non-enum parameter %q carries choices", p.Name)
+		}
+		if p.Generative && p.Kind != KindNumeric && p.Kind != KindInteger {
+			t.Fatalf("generative parameter %q has unexpected kind %s", p.Name, p.Kind)
+		}
 	}
 	for _, name := range []string{"mpl", "users", "buffpages", "no", "nc", "writeprob", "netthru"} {
 		if _, ok := LookupParam(name); !ok {
@@ -158,6 +167,25 @@ func TestParamsRegistry(t *testing.T) {
 	}
 	if _, ok := LookupParam("MPL"); !ok {
 		t.Error("lookup not case-insensitive")
+	}
+	// The typed Table 3 selectors are registered with the right kinds.
+	for name, kind := range map[string]Kind{
+		"mpl": KindInteger, "netthru": KindNumeric,
+		"sysclass": KindEnum, "pgrep": KindEnum, "initpl": KindEnum,
+		"clustp": KindEnum, "prefetch": KindEnum,
+		"dstc": KindBool, "physoids": KindBool,
+	} {
+		p, ok := LookupParam(name)
+		if !ok {
+			t.Errorf("parameter %q missing from registry", name)
+			continue
+		}
+		if p.Kind != kind {
+			t.Errorf("parameter %q has kind %s, want %s", name, p.Kind, kind)
+		}
+	}
+	if p, _ := LookupParam("pgrep"); len(p.Choices) != 9 {
+		t.Errorf("pgrep choices: %v", p.Choices)
 	}
 }
 
@@ -241,8 +269,9 @@ func TestRenderSweep(t *testing.T) {
 	if !strings.HasPrefix(csv, "buffpages,I/Os") {
 		t.Errorf("csv:\n%s", csv)
 	}
+	// Charts share the table's title resolution (Title over Name).
 	chart := res.Chart(6)
-	if !strings.Contains(chart, "render — I/Os") || !strings.Contains(chart, "render — hit%") {
+	if !strings.Contains(chart, "render study — I/Os") || !strings.Contains(chart, "render study — hit%") {
 		t.Errorf("chart:\n%s", chart)
 	}
 }

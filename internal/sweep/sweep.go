@@ -3,16 +3,23 @@
 // model. The paper's whole point is genericity — one simulation model
 // instantiable for any OODB architecture and any parameter study (§3,
 // Table 3) — and this package is the experiment-layer counterpart: a Sweep
-// is *data* (a base core.Config + ocb.Params, an Axis of per-point
-// mutators, a metric selection), and one runner executes any such spec
-// through the replicated-experiment engine, reusing pooled replication
-// contexts across points and optionally sharing object bases across
-// non-generative axes (the BaseCache fast path).
+// is *data* (a base core.Config + ocb.Params, one or more Axes of
+// per-point mutators, a metric selection), and one runner executes any
+// such spec through the replicated-experiment engine, reusing pooled
+// replication contexts across points and optionally sharing object bases
+// across non-generative slices (the BaseCache fast path).
+//
+// Parameters are typed (Kind: numeric, integer, enum, bool), so the
+// categorical Table 3 knobs — SYSCLASS, PGREP, INITPL, CLUSTP — are
+// first-class sweepable dimensions, and a Sweep with several Axes runs the
+// full cross-product grid (buffer size × replacement policy, MPL × system
+// class, …) with 2-D results renderable as heatmaps.
 //
 // internal/experiments expresses every reproduced figure and table of the
 // paper (Fig. 6–11, Tables 6–8) as a Sweep over this engine, and
-// cmd/experiments' -sweep flag compiles a user-supplied parameter axis
-// (ParseAxis) into one; voodb re-exports the types for library studies.
+// cmd/experiments' repeatable -sweep flag compiles user-supplied parameter
+// axes (ParseAxis) into one; voodb re-exports the types for library
+// studies.
 //
 // Results are deterministic: bit-identical for every Workers count and
 // with or without context pooling, exactly like the underlying engine.
@@ -21,9 +28,11 @@ package sweep
 import (
 	"fmt"
 	"strconv"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/ocb"
+	"repro/internal/rng"
 	"repro/internal/stats"
 )
 
@@ -42,11 +51,12 @@ const PaperReplications = 100
 // label, a per-point seed offset, and a mutator that specializes the
 // sweep's base configuration and workload parameters for this point.
 type Point struct {
-	// X is the numeric axis position (table key and chart x).
+	// X is the numeric axis position (table key and chart x). Categorical
+	// (enum/bool) axes use the point index.
 	X float64
 	// Label overrides the display label (defaults to a compact rendering
 	// of X); table-style sweeps use it to name variants ("physical",
-	// "logical").
+	// "logical"), enum axes the choice ("LRU").
 	Label string
 	// SeedDelta offsets the sweep seed for this point, decorrelating the
 	// random streams of different points (the figure sweeps use the swept
@@ -65,7 +75,7 @@ func (pt Point) label() string {
 	return strconv.FormatFloat(pt.X, 'g', -1, 64)
 }
 
-// Axis is a sweep's independent variable: a named series of points.
+// Axis is one independent variable of a sweep: a named series of points.
 type Axis struct {
 	// Name labels the axis ("instances", "MB", a parameter name).
 	Name string
@@ -79,10 +89,16 @@ type Axis struct {
 	Points []Point
 }
 
+// Grid assembles several axes into the Axes field of a multi-axis sweep —
+// a readability helper for cross-product studies:
+//
+//	Sweep{..., Axes: sweep.Grid(policyAxis, bufferAxis)}
+func Grid(axes ...Axis) []Axis { return axes }
+
 // Sweep is a declarative parameter study: a base system configuration and
-// workload, an axis of mutations, and a metric selection. The zero values
-// of Protocol/Metrics select the standard replicated-batch protocol with
-// every metric it collects.
+// workload, one or more axes of mutations, and a metric selection. The
+// zero values of Protocol/Metrics select the standard replicated-batch
+// protocol with every metric it collects.
 type Sweep struct {
 	// Name identifies the sweep (error messages, progress, chart titles).
 	Name string
@@ -94,8 +110,13 @@ type Sweep struct {
 	// Params is the base OCB parameterization (Table 5); each point's
 	// Apply may specialize it.
 	Params ocb.Params
-	// Axis is the swept variable.
+	// Axis is the swept variable of a 1-D study (the legacy spec form).
+	// Multi-axis studies set Axes instead; setting both is an error.
 	Axis Axis
+	// Axes, when non-empty, declares a multi-axis study: the sweep runs
+	// the full cross-product grid of all axes' points (row-major, last
+	// axis fastest). A single-element Axes is equivalent to Axis.
+	Axes []Axis
 	// Metrics selects which outputs to collect (nil = every metric of the
 	// protocol). Order is preserved in results and rendering.
 	Metrics []Metric
@@ -121,7 +142,8 @@ type Options struct {
 	// PaperReplications).
 	Replications int
 	// Seed anchors all random streams; each point offsets it by its
-	// SeedDelta.
+	// SeedDelta (grid cells chain the deltas of later axes through
+	// rng.SubSeed).
 	Seed uint64
 	// Workers bounds how many replications run concurrently per point:
 	// 0 uses all available cores, 1 forces the sequential engine. Results
@@ -131,13 +153,14 @@ type Options struct {
 	// (default 0.95).
 	Confidence float64
 	// ShareBases shares each replication's object base across the points
-	// of a non-generative axis (the swept parameter never reaches
-	// ocb.Generate): replication r's base is generated once from the
-	// sweep-level seed and reused at every point instead of being redrawn
-	// per point from that point's own seed. This is common-random-numbers
-	// variance reduction across the axis; it changes the sampled values
-	// (each point sees the same bases rather than independently drawn
-	// ones), so it is off by default. Ignored for generative axes and the
+	// of the non-generative axes (the swept parameters never reach
+	// ocb.Generate): replication r's base is generated once per
+	// generative slice from the slice-level seed and reused at every
+	// point of the slice instead of being redrawn per point from that
+	// point's own seed. This is common-random-numbers variance reduction
+	// across those axes; it changes the sampled values (each point sees
+	// the same bases rather than independently drawn ones), so it is off
+	// by default. Ignored when every axis is generative and under the
 	// DSTC protocol. Results remain fully deterministic and identical for
 	// every worker count (pinned by TestBaseCacheTransparent).
 	ShareBases bool
@@ -178,8 +201,15 @@ type Value struct {
 // PointResult is one completed sweep point: the collected metric vector
 // plus the underlying replicated aggregate for advanced consumers.
 type PointResult struct {
+	// X is the first axis's position; Label its display label (1-D
+	// studies) or the "/"-joined per-axis labels (grids).
 	X     float64
 	Label string
+	// Coords is the cell position, one index per axis (len 1 for 1-D).
+	Coords []int
+	// Labels holds the per-axis display labels of the cell, in axis
+	// order.
+	Labels []string
 	// Values holds one interval per selected metric, in metric order.
 	Values []Value
 	// Result is the standard-protocol aggregate (nil under DSTCProtocol).
@@ -198,19 +228,86 @@ func (pr *PointResult) Get(m Metric) (stats.Interval, bool) {
 	return stats.Interval{}, false
 }
 
-// Result is a completed sweep: every point's metric vector, in axis order.
+// Result is a completed sweep: every cell's metric vector. 1-D sweeps
+// report points in axis order; grids in row-major order over Shape (last
+// axis fastest).
 type Result struct {
-	Name    string
-	Title   string
-	XLabel  string // the axis name
+	Name  string
+	Title string
+	// XLabel is the first axis's name (1-D) or the "×"-joined axis names
+	// (grids).
+	XLabel string
+	// AxisNames are the axes' names, in declaration order.
+	AxisNames []string
+	// Shape is the number of points per axis; len(Points) is its product.
+	Shape   []int
 	Metrics []Metric
 	Points  []PointResult
 }
 
+// Dims returns the number of axes.
+func (r *Result) Dims() int { return len(r.Shape) }
+
+// decompose writes flat cell index idx as row-major coordinates over shape
+// (last axis fastest) — the single definition of the grid's cell order;
+// Result.At computes the inverse.
+func decompose(idx int, shape, coords []int) {
+	for k := len(shape) - 1; k >= 0; k-- {
+		coords[k] = idx % shape[k]
+		idx /= shape[k]
+	}
+}
+
+// At returns the cell at the given per-axis indices.
+func (r *Result) At(coords ...int) *PointResult {
+	if len(coords) != len(r.Shape) {
+		panic(fmt.Sprintf("sweep: At(%v) on a %d-axis result", coords, len(r.Shape)))
+	}
+	idx := 0
+	for k, c := range coords {
+		if c < 0 || c >= r.Shape[k] {
+			panic(fmt.Sprintf("sweep: At(%v) out of range for shape %v", coords, r.Shape))
+		}
+		idx = idx*r.Shape[k] + c
+	}
+	return &r.Points[idx]
+}
+
 // Validate checks the spec without running it.
 func (s *Sweep) Validate() error {
-	if len(s.Axis.Points) == 0 {
-		return fmt.Errorf("sweep %q: empty axis", s.Name)
+	if len(s.Axes) > 0 && len(s.Axis.Points) > 0 {
+		return fmt.Errorf("sweep %q: both Axis and Axes set (use one)", s.Name)
+	}
+	axes := s.axes()
+	if len(axes) == 0 {
+		return fmt.Errorf("sweep %q: no axes", s.Name)
+	}
+	cells := 1
+	names := make(map[string]bool, len(axes))
+	conflicts := make(map[string]string)
+	for i, ax := range axes {
+		if len(ax.Points) == 0 {
+			return fmt.Errorf("sweep %q: axis %d (%s): empty axis", s.Name, i, ax.Name)
+		}
+		if names[ax.Name] {
+			return fmt.Errorf("sweep %q: duplicate axis %q", s.Name, ax.Name)
+		}
+		names[ax.Name] = true
+		// Two axes over different parameters that write the same
+		// configuration field (dstc and clustp both set Clustering) would
+		// have the later axis silently overwrite the earlier one in every
+		// cell — refuse the grid instead of reporting misleading results.
+		if p, ok := LookupParam(ax.Name); ok && p.Conflicts != "" {
+			if prev, clash := conflicts[p.Conflicts]; clash {
+				return fmt.Errorf("sweep %q: axes %q and %q both set %s (use one)",
+					s.Name, prev, ax.Name, p.Conflicts)
+			}
+			conflicts[p.Conflicts] = ax.Name
+		}
+		cells *= len(ax.Points)
+		if cells > maxGridCells {
+			return fmt.Errorf("sweep %q: grid expands to more than %d cells", s.Name, maxGridCells)
+		}
 	}
 	if s.Protocol > DSTCProtocol {
 		return fmt.Errorf("sweep %q: unknown protocol %d", s.Name, s.Protocol)
@@ -219,6 +316,22 @@ func (s *Sweep) Validate() error {
 		if !m.ValidFor(s.Protocol) {
 			return fmt.Errorf("sweep %q: metric %q not collected by the %s protocol", s.Name, m, s.Protocol)
 		}
+	}
+	return nil
+}
+
+// maxGridCells bounds the cross-product size: one replicated experiment
+// runs per cell, so a larger grid is a typo'd spec, and failing fast beats
+// queueing months of simulation.
+const maxGridCells = 100000
+
+// axes resolves the spec's axis set (Axes, or the legacy 1-D Axis).
+func (s *Sweep) axes() []Axis {
+	if len(s.Axes) > 0 {
+		return s.Axes
+	}
+	if len(s.Axis.Points) > 0 || s.Axis.Name != "" {
+		return []Axis{s.Axis}
 	}
 	return nil
 }
@@ -247,49 +360,167 @@ func (s *Sweep) depth() int {
 	return s.Depth
 }
 
-// Run executes the sweep: one replicated experiment per axis point, all
-// points sharing one replication-context pool (and, when enabled and
-// eligible, one object-base cache). Points are independent replicated
-// experiments, so execution order is free; results always report in axis
-// order and are bit-identical for every worker count.
+// cellSeed derives the replication seed of one grid cell: the legacy
+// additive offset of the first axis (keeping 1-D sweeps bit-identical to
+// the pre-grid engine), then an rng.SubSeed chain over the later axes'
+// deltas so every cell of a grid draws a decorrelated stream even when
+// deltas would sum to colliding values ((1,0) vs (0,1)).
+func cellSeed(base uint64, axes []Axis, coords []int) uint64 {
+	seed := base + axes[0].Points[coords[0]].SeedDelta
+	for k := 1; k < len(axes); k++ {
+		seed = rng.SubSeed(seed, axes[k].Points[coords[k]].SeedDelta)
+	}
+	return seed
+}
+
+// sliceSeed derives the base-generation seed of a generative slice: the
+// cellSeed recipe restricted to the generative axes. With no generative
+// axes it is the sweep seed itself — the whole grid is one slice, exactly
+// the 1-D non-generative cache behavior.
+func sliceSeed(base uint64, axes []Axis, coords []int, generative []bool) uint64 {
+	seed := base
+	for k := range axes {
+		if !generative[k] {
+			continue
+		}
+		d := axes[k].Points[coords[k]].SeedDelta
+		if k == 0 {
+			// Only axis 0 keeps the legacy additive offset (mirroring
+			// cellSeed); generative axes in later positions always chain.
+			seed += d
+		} else {
+			seed = rng.SubSeed(seed, d)
+		}
+	}
+	return seed
+}
+
+// gridBases hands each cell its object-base source under ShareBases: one
+// BaseCache per generative slice (the coordinates along generative axes),
+// lazily built, shared by every cell of the slice — so a PGREP × buffer
+// grid generates each replication's base once for the whole grid, and a
+// NO × buffer grid once per NO value.
+type gridBases struct {
+	s          *Sweep
+	axes       []Axis
+	generative []bool
+	seed       uint64
+	caches     map[string]*BaseCache
+}
+
+func (g *gridBases) forCell(coords []int) (func(rep int, seed uint64) *ocb.Database, error) {
+	var key strings.Builder
+	for k := range g.axes {
+		if g.generative[k] {
+			fmt.Fprintf(&key, "%d,", coords[k])
+		}
+	}
+	cache := g.caches[key.String()]
+	if cache == nil {
+		// The slice's generation inputs: the base params specialized by
+		// the generative axes only.
+		cfg, params := g.s.Config, g.s.Params
+		for k := range g.axes {
+			if !g.generative[k] {
+				continue
+			}
+			if apply := g.axes[k].Points[coords[k]].Apply; apply != nil {
+				apply(&cfg, &params)
+			}
+		}
+		var err error
+		cache, err = NewBaseCache(params, sliceSeed(g.seed, g.axes, coords, g.generative))
+		if err != nil {
+			return nil, err
+		}
+		g.caches[key.String()] = cache
+	}
+	return cache.Base, nil
+}
+
+// Run executes the sweep: one replicated experiment per grid cell (a 1-D
+// sweep is a one-axis grid), all cells sharing one replication-context
+// pool (and, when enabled and eligible, per-slice object-base caches).
+// Cells are independent replicated experiments, so execution order is
+// free; results always report in row-major axis order and are
+// bit-identical for every worker count.
 func (s *Sweep) Run(o Options) (*Result, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
+	axes := s.axes()
 	metrics := s.metrics()
 	pool := o.Pool
 	if pool == nil {
 		pool = core.NewContextPool()
 	}
-	var base func(rep int, seed uint64) *ocb.Database
-	if o.ShareBases && !s.Axis.Generative && s.Protocol == Standard {
-		cache, err := NewBaseCache(s.Params, o.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("sweep %q: %w", s.Name, err)
+
+	generative := make([]bool, len(axes))
+	allGenerative := true
+	for i, ax := range axes {
+		generative[i] = ax.Generative
+		if !ax.Generative {
+			allGenerative = false
 		}
-		base = cache.Base
+	}
+	var bases *gridBases
+	if o.ShareBases && !allGenerative && s.Protocol == Standard {
+		bases = &gridBases{s: s, axes: axes, generative: generative, seed: o.Seed,
+			caches: make(map[string]*BaseCache)}
 	}
 
+	shape := make([]int, len(axes))
+	names := make([]string, len(axes))
+	cells := 1
+	for i, ax := range axes {
+		shape[i] = len(ax.Points)
+		names[i] = ax.Name
+		cells *= shape[i]
+	}
+	xlabel := names[0]
+	if len(names) > 1 {
+		xlabel = strings.Join(names, " × ")
+	}
 	res := &Result{
-		Name:    s.Name,
-		Title:   s.Title,
-		XLabel:  s.Axis.Name,
-		Metrics: metrics,
-		Points:  make([]PointResult, len(s.Axis.Points)),
+		Name:      s.Name,
+		Title:     s.Title,
+		XLabel:    xlabel,
+		AxisNames: names,
+		Shape:     shape,
+		Metrics:   metrics,
+		Points:    make([]PointResult, cells),
 	}
 	conf := o.confidence()
-	for step := range s.Axis.Points {
+	coords := make([]int, len(axes))
+	for step := 0; step < cells; step++ {
 		i := step
 		if s.RunDescending {
-			i = len(s.Axis.Points) - 1 - step
+			i = cells - 1 - step
 		}
-		pt := s.Axis.Points[i]
+		decompose(i, shape, coords)
 		cfg, params := s.Config, s.Params
-		if pt.Apply != nil {
-			pt.Apply(&cfg, &params)
+		labels := make([]string, len(axes))
+		for k, ax := range axes {
+			pt := ax.Points[coords[k]]
+			labels[k] = pt.label()
+			if pt.Apply != nil {
+				pt.Apply(&cfg, &params)
+			}
 		}
-		seed := o.Seed + pt.SeedDelta
-		pr := PointResult{X: pt.X, Label: pt.label()}
+		seed := cellSeed(o.Seed, axes, coords)
+		pr := PointResult{
+			X:      axes[0].Points[coords[0]].X,
+			Label:  strings.Join(labels, "/"),
+			Coords: append([]int(nil), coords...),
+			Labels: labels,
+		}
+		var base func(rep int, seed uint64) *ocb.Database
+		if bases != nil {
+			var err error
+			if base, err = bases.forCell(coords); err != nil {
+				return nil, fmt.Errorf("sweep %q: %w", s.Name, err)
+			}
+		}
 		switch s.Protocol {
 		case DSTCProtocol:
 			e := core.DSTCExperiment{
@@ -304,7 +535,7 @@ func (s *Sweep) Run(o Options) (*Result, error) {
 			}
 			dstc, err := e.Run()
 			if err != nil {
-				return nil, fmt.Errorf("%s at %s=%s: %w", s.Name, s.Axis.Name, pt.label(), err)
+				return nil, fmt.Errorf("%s at %s: %w", s.Name, cellDesc(names, labels), err)
 			}
 			pr.DSTC = dstc
 			for _, m := range metrics {
@@ -322,7 +553,7 @@ func (s *Sweep) Run(o Options) (*Result, error) {
 			}
 			r, err := e.Run()
 			if err != nil {
-				return nil, fmt.Errorf("%s at %s=%s: %w", s.Name, s.Axis.Name, pt.label(), err)
+				return nil, fmt.Errorf("%s at %s: %w", s.Name, cellDesc(names, labels), err)
 			}
 			pr.Result = r
 			for _, m := range metrics {
@@ -330,7 +561,22 @@ func (s *Sweep) Run(o Options) (*Result, error) {
 			}
 		}
 		res.Points[i] = pr
-		o.progress("%s %s=%s: %s", s.Name, s.Axis.Name, pt.label(), pr.Values[0].Interval)
+		o.progress("%s %s: %s", s.Name, cellDesc(names, labels), pr.Values[0].Interval)
 	}
 	return res, nil
+}
+
+// cellDesc renders a cell position as "axis=label axis=label" (progress
+// lines and errors); for 1-D sweeps this is the classic "axis=label".
+func cellDesc(names, labels []string) string {
+	var b strings.Builder
+	for k := range names {
+		if k > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(names[k])
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+	}
+	return b.String()
 }

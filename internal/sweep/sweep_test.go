@@ -234,8 +234,38 @@ func TestDSTCProtocolSweep(t *testing.T) {
 // TestSweepValidate covers spec validation errors.
 func TestSweepValidate(t *testing.T) {
 	s := Sweep{Name: "empty"}
+	if _, err := s.Run(Options{}); err == nil || !strings.Contains(err.Error(), "no axes") {
+		t.Errorf("axis-less sweep accepted: %v", err)
+	}
+	s = Sweep{Name: "named-empty", Axis: Axis{Name: "x"}}
 	if _, err := s.Run(Options{}); err == nil || !strings.Contains(err.Error(), "empty axis") {
 		t.Errorf("empty axis accepted: %v", err)
+	}
+	ax, err := ParamAxis("mpl", []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = Sweep{Name: "both", Axis: ax, Axes: []Axis{ax}}
+	if _, err := s.Run(Options{}); err == nil || !strings.Contains(err.Error(), "both Axis and Axes") {
+		t.Errorf("Axis+Axes accepted: %v", err)
+	}
+	s = Sweep{Name: "dup", Axes: []Axis{ax, ax}}
+	if _, err := s.Run(Options{}); err == nil || !strings.Contains(err.Error(), "duplicate axis") {
+		t.Errorf("duplicate axes accepted: %v", err)
+	}
+	// dstc and clustp both write Config.Clustering: a grid over both would
+	// have the later axis silently overwrite the earlier one.
+	dstcAx, err := BoolAxis("dstc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clustpAx, err := EnumAxis("clustp", "none", "dstc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = Sweep{Name: "alias", Axes: []Axis{dstcAx, clustpAx}}
+	if _, err := s.Run(Options{}); err == nil || !strings.Contains(err.Error(), "both set clustering") {
+		t.Errorf("aliased axes accepted: %v", err)
 	}
 	s = Sweep{Name: "bad", Axis: Axis{Points: []Point{{X: 1}}}, Metrics: []Metric{PreIOs}}
 	if _, err := s.Run(Options{}); err == nil || !strings.Contains(err.Error(), "not collected") {

@@ -11,8 +11,11 @@
 //     (Experiment, DSTCExperiment), run in parallel across cores with
 //     bit-identical results (the Workers field; 1 forces sequential)
 //   - declarative multi-metric parameter sweeps (Sweep, Axis, Metric):
-//     any Table 3 or OCB parameter swept over any metric subset, executed
-//     through the pooled replication engine (RunSweep, ParamAxis)
+//     any Table 3 or OCB parameter — numeric, integer, enum (SYSCLASS,
+//     PGREP, INITPL, CLUSTP) or switch — swept over any metric subset,
+//     executed through the pooled replication engine (RunSweep, ParamAxis,
+//     EnumAxis), including multi-axis cross-product grids with heatmap
+//     rendering (Grid, SweepResult.Heatmap)
 //   - low-level model access for custom studies (NewRun)
 //
 // A minimal study:
@@ -231,14 +234,44 @@ func BufferPolicies() []string {
 //	if err != nil { ... }
 //	fmt.Print(res.Text())
 
-// Sweep is a declarative parameter study over the evaluation model.
+// Sweep is a declarative parameter study over the evaluation model. A
+// 1-D study sets Axis; a multi-axis study sets Axes (see Grid) and runs
+// the full cross-product, with 2-D results renderable as heatmaps
+// (SweepResult.Heatmap / HeatmapCSV) and N-D results as facet tables
+// (SweepResult.FacetTables).
 type Sweep = sweep.Sweep
 
-// Axis is a sweep's independent variable: a named series of points.
+// Axis is one independent variable of a sweep: a named series of points.
 type Axis = sweep.Axis
 
 // AxisPoint is one position on a sweep axis.
 type AxisPoint = sweep.Point
+
+// ParamKind classifies a sweepable parameter's value domain: Table 3
+// mixes continuous knobs, integer counts, categorical selectors
+// (SYSCLASS, PGREP, INITPL, CLUSTP) and switches, and every kind is
+// sweepable by name.
+type ParamKind = sweep.Kind
+
+// Parameter kinds.
+const (
+	NumericParam = sweep.KindNumeric
+	IntegerParam = sweep.KindInteger
+	EnumParam    = sweep.KindEnum
+	BoolParam    = sweep.KindBool
+)
+
+// ParamValue is one typed parameter value (numeric, integer, enum
+// choice, or switch).
+type ParamValue = sweep.ParamValue
+
+// Typed value constructors for ParamValueAxis.
+var (
+	NumValue  = sweep.NumValue
+	IntValue  = sweep.IntValue
+	EnumValue = sweep.EnumValue
+	BoolValue = sweep.BoolValue
+)
 
 // Metric identifies one collected simulation output.
 type Metric = sweep.Metric
@@ -309,13 +342,40 @@ func ParseSweepMetrics(list string, p SweepProtocol) ([]Metric, error) {
 // SweepParams lists every named sweepable parameter.
 func SweepParams() []SweepParam { return sweep.Params() }
 
-// ParamAxis builds an axis sweeping the named parameter over values.
+// ParamAxis builds an axis sweeping the named parameter over numeric
+// values (bool parameters accept 0/1; enum parameters need EnumAxis).
 func ParamAxis(name string, values []float64) (Axis, error) {
 	return sweep.ParamAxis(name, values)
 }
 
-// ParseSweepAxis compiles a textual axis spec ("mpl=1:16:5" or
-// "writeprob=0,0.05,0.2") into an Axis.
+// ParamValueAxis builds an axis sweeping the named parameter over typed
+// values — the general constructor behind ParamAxis and EnumAxis.
+func ParamValueAxis(name string, values []ParamValue) (Axis, error) {
+	return sweep.ParamValueAxis(name, values)
+}
+
+// EnumAxis builds an axis sweeping an enum parameter (sysclass, pgrep,
+// initpl, clustp, prefetch) over the given choices, case-insensitively;
+// with no choices it sweeps every registered choice.
+func EnumAxis(name string, choices ...string) (Axis, error) {
+	return sweep.EnumAxis(name, choices...)
+}
+
+// BoolAxis builds an on/off axis over a switch parameter (dstc,
+// physoids); with no values it sweeps off then on.
+func BoolAxis(name string, values ...bool) (Axis, error) {
+	return sweep.BoolAxis(name, values...)
+}
+
+// Grid assembles several axes into the Axes field of a multi-axis sweep:
+//
+//	voodb.Sweep{..., Axes: voodb.Grid(policyAxis, bufferAxis)}
+//
+// runs the full cross-product of the axes' points.
+func Grid(axes ...Axis) []Axis { return sweep.Grid(axes...) }
+
+// ParseSweepAxis compiles a textual axis spec ("mpl=1:16:5",
+// "writeprob=0,0.05,0.2", "pgrep=LRU,FIFO", "dstc=on,off") into an Axis.
 func ParseSweepAxis(spec string) (Axis, error) { return sweep.ParseAxis(spec) }
 
 // ChartData is one named curve of a multi-series ASCII chart.

@@ -133,6 +133,65 @@ func TestSweepViaFacade(t *testing.T) {
 	}
 }
 
+// TestGridViaFacade is the acceptance check of the typed multi-axis API: an
+// enum axis crossed with a numeric axis, run and heatmap-rendered entirely
+// through the public façade.
+func TestGridViaFacade(t *testing.T) {
+	policies, err := voodb.EnumAxis("pgrep", "LRU", "FIFO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buffers, err := voodb.ParseSweepAxis("buffpages=48,96")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := voodb.DefaultWorkload()
+	params.NC = 10
+	params.NO = 800
+	params.HotN = 40
+	cfg := voodb.DefaultConfig()
+	cfg.System = voodb.Centralized
+	res, err := voodb.RunSweep(voodb.Sweep{
+		Name:    "facade-grid",
+		Config:  cfg,
+		Params:  params,
+		Axes:    voodb.Grid(policies, buffers),
+		Metrics: []voodb.Metric{voodb.MetricIOs, voodb.MetricHitPct},
+	}, voodb.SweepOptions{Replications: 2, Seed: 17, ShareBases: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dims() != 2 || len(res.Points) != 4 {
+		t.Fatalf("grid shape: %+v", res.Shape)
+	}
+	if pr := res.At(1, 0); pr.Labels[0] != "FIFO" || pr.Labels[1] != "48" {
+		t.Fatalf("At(1,0) labels: %v", pr.Labels)
+	}
+	hm, err := res.Heatmap(voodb.MetricIOs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hm) == 0 {
+		t.Error("empty heatmap")
+	}
+	if len(res.FacetTables()) != 2 {
+		t.Error("facet count wrong")
+	}
+	// The typed registry surfaces kinds and choices.
+	kinds := map[voodb.ParamKind]bool{}
+	for _, p := range voodb.SweepParams() {
+		kinds[p.Kind] = true
+		if p.Name == "pgrep" && len(p.Choices) != len(voodb.BufferPolicies()) {
+			t.Errorf("pgrep choices %v out of sync with BufferPolicies %v", p.Choices, voodb.BufferPolicies())
+		}
+	}
+	for _, k := range []voodb.ParamKind{voodb.NumericParam, voodb.IntegerParam, voodb.EnumParam, voodb.BoolParam} {
+		if !kinds[k] {
+			t.Errorf("registry missing a %s parameter", k)
+		}
+	}
+}
+
 func TestDSTCExperimentViaFacade(t *testing.T) {
 	params := voodb.DSTCWorkload()
 	params.NC = 10
