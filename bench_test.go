@@ -55,6 +55,7 @@ func logFigure(b *testing.B, fig *experiments.Figure, ref paper.Series) {
 		head = fig.Points[0] // smallest memory is the headline point
 	}
 	b.ReportMetric(head.IOs.Mean, "ios/point")
+	b.ReportMetric(float64(fig.CalendarPeak), "peakcal")
 }
 
 func BenchmarkFig6_O2Instances20(b *testing.B)    { benchFigure(b, "fig6", paper.Fig6) }

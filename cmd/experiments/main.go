@@ -57,6 +57,10 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	chart := flag.Bool("chart", false, "draw ASCII charts (heatmaps for 2-axis grids)")
 	verbose := flag.Bool("v", false, "print per-point progress")
+	calendar := flag.String("calendar", "auto",
+		"event-calendar strategy: auto, heap or wheel (bit-identical results; speed only)")
+	calhint := flag.Int("calhint", 0,
+		"event-calendar pre-size hint: expected pending-event peak (0 = derive from MPL/users)")
 
 	var sweeps axisSpecs
 	flag.Var(&sweeps, "sweep",
@@ -81,18 +85,25 @@ func main() {
 		progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
 
+	calKind, err := parseCalendar(*calendar)
+	if err != nil {
+		fatal(err)
+	}
+
 	if len(sweeps) > 0 {
 		runUserSweep(userSweepFlags{
 			axes: sweeps, metrics: *metrics, system: *system,
 			no: *no, nc: *nc, hotn: *hotn,
 			reps: *reps, seed: *seed, workers: *workers, shareBases: *shareBases,
+			calendar: calKind, calhint: *calhint,
 			csv: *csv, chart: *chart, progress: progress,
 		})
 		return
 	}
 
 	opts := experiments.Options{Replications: *reps, Seed: *seed, Workers: *workers,
-		ShareBases: *shareBases, Progress: progress}
+		ShareBases: *shareBases, Calendar: calKind, CalendarHint: *calhint,
+		Progress: progress}
 	ids := experiments.Names()
 	if *run != "all" {
 		ids = strings.Split(*run, ",")
@@ -115,6 +126,20 @@ func main() {
 	}
 }
 
+// parseCalendar reads the -calendar flag value.
+func parseCalendar(name string) (voodb.CalendarKind, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "auto":
+		return voodb.AutoCalendar, nil
+	case "heap":
+		return voodb.HeapCalendar, nil
+	case "wheel":
+		return voodb.WheelCalendar, nil
+	default:
+		return voodb.AutoCalendar, fmt.Errorf("unknown -calendar %q (auto|heap|wheel)", name)
+	}
+}
+
 // userSweepFlags carries the -sweep mode's flag values.
 type userSweepFlags struct {
 	axes            []string
@@ -124,6 +149,8 @@ type userSweepFlags struct {
 	seed            uint64
 	workers         int
 	shareBases      bool
+	calendar        voodb.CalendarKind
+	calhint         int
 	csv, chart      bool
 	progress        func(string)
 }
@@ -184,6 +211,8 @@ func runUserSweep(f userSweepFlags) {
 		Seed:         f.seed,
 		Workers:      f.workers,
 		ShareBases:   f.shareBases,
+		Calendar:     f.calendar,
+		CalendarHint: f.calhint,
 		Progress:     f.progress,
 	})
 	if err != nil {

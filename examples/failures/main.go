@@ -49,4 +49,9 @@ func main() {
 	fmt.Println("each failure wipes the buffer (restart) and holds the disk for the")
 	fmt.Println("repair duration, so I/Os grow with failure frequency and response")
 	fmt.Println("times absorb the downtime.")
+	fmt.Println()
+	fmt.Println("the same study runs straight from the CLI via the typed sweep registry:")
+	fmt.Println()
+	fmt.Println("  go run ./cmd/experiments -sweep mtbf=1000,5000,20000 -sweep repair=200 \\")
+	fmt.Println("      -metrics ios,resp,tps -system o2 -nc 20 -no 4000 -hotn 400 -reps 5")
 }

@@ -20,6 +20,9 @@ func foldRows(rows []repRow, conf float64) *Result {
 		res.NetBytes.Add(rows[i].netBytes)
 		res.LockWaits.Add(rows[i].lockWaits)
 		res.ReorgIOs.Add(rows[i].reorgIOs)
+		if rows[i].calPeak > res.CalendarPeak {
+			res.CalendarPeak = rows[i].calPeak
+		}
 	}
 	return res
 }

@@ -126,6 +126,11 @@ type Result struct {
 	NetBytes    stats.Sample
 	LockWaits   stats.Sample
 	ReorgIOs    stats.Sample
+
+	// CalendarPeak is the largest pending-event high-water mark any
+	// replication reached — the depth that decides whether the timing
+	// wheel pays off for this configuration (see PERFORMANCE.md).
+	CalendarPeak int
 }
 
 // IOsCI returns the confidence interval of the mean I/O count.
@@ -193,6 +198,7 @@ type repRow struct {
 	hitRatio, respMs, tp float64
 	netMsgs, netBytes    float64
 	lockWaits, reorgIOs  float64
+	calPeak              int
 }
 
 // runRep executes one replication on ctx: obtain the replication's object
@@ -233,6 +239,7 @@ func (e Experiment) runRep(ctx *repContext, rep int) (repRow, error) {
 		netBytes:  float64(st.NetBytes),
 		lockWaits: float64(st.LockWaits),
 		reorgIOs:  float64(st.ReorgIOs),
+		calPeak:   run.CalendarPeak(),
 	}, nil
 }
 
@@ -261,6 +268,9 @@ func (e Experiment) Run() (*Result, error) {
 		res.NetBytes.Add(rows[i].netBytes)
 		res.LockWaits.Add(rows[i].lockWaits)
 		res.ReorgIOs.Add(rows[i].reorgIOs)
+		if rows[i].calPeak > res.CalendarPeak {
+			res.CalendarPeak = rows[i].calPeak
+		}
 	}
 	return res, nil
 }

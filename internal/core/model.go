@@ -72,7 +72,8 @@ func NewRun(cfg Config, db *ocb.Database, seed uint64) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := sim.New()
+	s := sim.New(sim.WithCalendar(cfg.Calendar))
+	s.Grow(cfg.calendarHint())
 	r := &Run{
 		cfg:       cfg,
 		sim:       s,
@@ -166,6 +167,14 @@ func (r *Run) Clusterer() cluster.Policy { return r.clusterer }
 
 // Now returns the current simulated time (ms).
 func (r *Run) Now() float64 { return r.sim.Now() }
+
+// Calendar returns the event-calendar strategy the kernel is running on
+// (resolving the auto-switch, so a flipped AutoCalendar reports the wheel).
+func (r *Run) Calendar() sim.CalendarKind { return r.sim.Calendar() }
+
+// CalendarPeak returns the high-water mark of pending events since the
+// run's last Reset — the calendar depth this workload actually exercised.
+func (r *Run) CalendarPeak() int { return r.sim.PeakPending() }
 
 // LastClusterSummary returns the Table 7 statistics of the most recent
 // reorganization.

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/ocb"
 	"repro/internal/paper"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/sweep"
 )
@@ -37,12 +38,16 @@ type Point struct {
 // Figure is a reproduced figure: our simulated curve next to the paper's
 // published (digitized) curves.
 type Figure struct {
-	ID       string
-	Title    string
-	XLabel   string
-	Points   []Point
-	Paper    paper.Series
-	Warnings []string
+	ID     string
+	Title  string
+	XLabel string
+	Points []Point
+	Paper  paper.Series
+	// CalendarPeak is the event-calendar depth high-water mark across every
+	// point and replication of the figure — the scheduling load the kernel's
+	// calendar actually carried (see sim.Simulation.PeakPending).
+	CalendarPeak int
+	Warnings     []string
 }
 
 // SimValues returns our simulated means in x order.
@@ -95,6 +100,14 @@ type Options struct {
 	// worker count, and identical whether or not the cache materializes
 	// (pinned by sweep's TestBaseCacheTransparent).
 	ShareBases bool
+	// Calendar, when not sim.AutoCalendar, forces the simulation kernel's
+	// event-calendar strategy for every point. Results are bit-identical
+	// for every calendar (pinned by the wheel golden tests); only speed
+	// changes.
+	Calendar sim.CalendarKind
+	// CalendarHint, when positive, pre-sizes every point's event calendar
+	// to the given expected peak depth.
+	CalendarHint int
 	// Progress, when non-nil, receives one line per completed point.
 	Progress func(string)
 }
@@ -119,6 +132,8 @@ func (o Options) sweepOptions() sweep.Options {
 		Seed:         o.Seed,
 		Workers:      o.Workers,
 		ShareBases:   o.ShareBases,
+		Calendar:     o.Calendar,
+		CalendarHint: o.CalendarHint,
 		Progress:     o.Progress,
 	}
 }
@@ -151,6 +166,9 @@ func runFigure(id string, ref paper.Series, o Options) (*Figure, error) {
 		ios, _ := pr.Get(sweep.IOs)
 		hit, _ := pr.Get(sweep.HitPct)
 		f.Points[i] = Point{X: int(pr.X), IOs: ios, HitPct: hit.Mean}
+		if pr.Result != nil && pr.Result.CalendarPeak > f.CalendarPeak {
+			f.CalendarPeak = pr.Result.CalendarPeak
+		}
 	}
 	return f, nil
 }

@@ -62,7 +62,7 @@ func (e Event) Pending() bool {
 		return false
 	}
 	slot := &e.s.events[e.slot]
-	return slot.gen == e.gen && slot.heapIdx >= 0
+	return slot.gen == e.gen && (slot.heapIdx >= 0 || slot.bucket >= 0)
 }
 
 // eventSlot is one arena entry. Live slots (heapIdx ≥ 0) hold an even
@@ -75,8 +75,14 @@ type eventSlot struct {
 	time    Time
 	seq     uint64
 	action  func()
-	heapIdx int32 // index into Simulation.heap, -1 once fired or cancelled
-	gen     uint32
+	heapIdx int32 // index into Simulation.heap, -1 when not in the ready heap
+	// Timing-wheel membership: bucket id (-1 when not in a wheel bucket)
+	// and intrusive doubly-linked list through the arena. A live slot is in
+	// exactly one of the ready heap (heapIdx ≥ 0) or a bucket (bucket ≥ 0).
+	bucket int32
+	next   int32
+	prev   int32
+	gen    uint32
 }
 
 // Simulation is a discrete-event simulation: an event calendar and a clock.
@@ -88,9 +94,18 @@ type Simulation struct {
 	heap   []int32     // binary min-heap of slot indices, ordered by (time, seq)
 	seq    uint64
 
+	// Calendar strategy. When wheel is nil every pending event lives in
+	// the heap (the classic calendar). When the wheel is enabled the heap
+	// doubles as the exact-ordered ready tier the wheel buckets drain
+	// into, which is what keeps the firing order bit-identical.
+	kind      CalendarKind
+	wheelTick Time
+	wheel     *wheel
+
 	scheduled uint64
 	executed  uint64
 	cancelled uint64
+	peak      int // high-water mark of Pending()
 
 	// Trace, when non-nil, is invoked for every executed event with the
 	// firing time. It exists for debugging models and is never set by the
@@ -99,8 +114,15 @@ type Simulation struct {
 }
 
 // New returns an empty simulation with the clock at zero.
-func New() *Simulation {
-	return &Simulation{}
+func New(opts ...Option) *Simulation {
+	s := &Simulation{}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.kind == WheelCalendar {
+		s.enableWheel()
+	}
+	return s
 }
 
 // Reset returns the simulation to the state New produces — clock at zero,
@@ -125,18 +147,33 @@ func (s *Simulation) Reset() {
 		slot := &s.events[i]
 		slot.action = nil // release captured state for the collector
 		slot.heapIdx = -1
+		slot.bucket, slot.next, slot.prev = -1, -1, -1
 		if slot.gen&1 == 0 {
 			slot.gen++ // odd: invalidated, normalized back to even on alloc
 		}
 		s.free = append(s.free, int32(i))
 	}
 	s.scheduled, s.executed, s.cancelled = 0, 0, 0
+	s.peak = 0
+	if s.wheel != nil {
+		s.wheel.clear(0) // keep the wheel (and its bucket storage), empty it
+	}
 }
 
 // Grow pre-sizes the calendar so at least n events can be pending at once
 // without growing the arena or the heap — the capacity hint for models
 // whose peak calendar depth is known up front.
+//
+// On an AutoCalendar simulation a hint of WheelAutoThreshold or more
+// events, arriving while the calendar is empty, also switches the
+// calendar to the timing wheel: a model announcing that many pending
+// events is past the heap/wheel crossover. The switch is observable only
+// through Calendar() — firing order is bit-identical either way — and
+// persists across Reset like any other capacity decision.
 func (s *Simulation) Grow(n int) {
+	if s.kind == AutoCalendar && s.wheel == nil && n >= WheelAutoThreshold && s.Pending() == 0 {
+		s.enableWheel()
+	}
 	if cap(s.events) < n {
 		events := make([]eventSlot, len(s.events), n)
 		copy(events, s.events)
@@ -158,7 +195,30 @@ func (s *Simulation) Grow(n int) {
 func (s *Simulation) Now() Time { return s.now }
 
 // Pending returns the number of events waiting in the calendar.
-func (s *Simulation) Pending() int { return len(s.heap) }
+func (s *Simulation) Pending() int {
+	if s.wheel != nil {
+		return len(s.heap) + s.wheel.count
+	}
+	return len(s.heap)
+}
+
+// PeakPending returns the high-water mark of Pending() since the last
+// Reset — the calendar depth the model actually exercised, which is the
+// number that decides whether the timing wheel pays off.
+func (s *Simulation) PeakPending() int { return s.peak }
+
+// Calendar returns the calendar strategy currently in effect: the
+// configured kind, except that an AutoCalendar simulation reports
+// WheelCalendar once the auto-switch has fired.
+func (s *Simulation) Calendar() CalendarKind {
+	if s.wheel != nil {
+		return WheelCalendar
+	}
+	if s.kind == AutoCalendar {
+		return AutoCalendar
+	}
+	return HeapCalendar
+}
 
 // Scheduled returns the total number of events ever scheduled.
 func (s *Simulation) Scheduled() uint64 { return s.scheduled }
@@ -192,8 +252,18 @@ func (s *Simulation) ScheduleAt(t Time, action func()) Event {
 	slot.action = action
 	s.seq++
 	s.scheduled++
-	s.heapPush(idx)
-	return Event{s: s, time: t, slot: idx, gen: slot.gen}
+	if s.wheel != nil {
+		s.wheelPlace(idx)
+		if p := len(s.heap) + s.wheel.count; p > s.peak {
+			s.peak = p
+		}
+	} else {
+		s.heapPush(idx)
+		if p := len(s.heap); p > s.peak {
+			s.peak = p
+		}
+	}
+	return Event{s: s, time: t, slot: idx, gen: s.events[idx].gen}
 }
 
 // alloc takes a slot from the free list (normalizing a cancelled slot's odd
@@ -207,7 +277,7 @@ func (s *Simulation) alloc() int32 {
 		}
 		return idx
 	}
-	s.events = append(s.events, eventSlot{heapIdx: -1})
+	s.events = append(s.events, eventSlot{heapIdx: -1, bucket: -1, next: -1, prev: -1})
 	return int32(len(s.events) - 1)
 }
 
@@ -219,10 +289,17 @@ func (s *Simulation) Cancel(e Event) {
 		return
 	}
 	slot := &s.events[e.slot]
-	if slot.gen != e.gen || slot.heapIdx < 0 {
+	if slot.gen != e.gen {
 		return
 	}
-	s.heapRemove(slot.heapIdx)
+	switch {
+	case slot.heapIdx >= 0:
+		s.heapRemove(slot.heapIdx)
+	case slot.bucket >= 0:
+		s.bucketRemove(e.slot)
+	default:
+		return
+	}
 	slot.action = nil
 	slot.gen++ // odd: cancelled
 	s.free = append(s.free, e.slot)
@@ -232,7 +309,7 @@ func (s *Simulation) Cancel(e Event) {
 // Step executes the single next event. It returns false when the calendar
 // is empty.
 func (s *Simulation) Step() bool {
-	if len(s.heap) == 0 {
+	if !s.peek() {
 		return false
 	}
 	idx := s.heapPop()
@@ -259,7 +336,7 @@ func (s *Simulation) Run() {
 // RunUntil executes events whose time is ≤ horizon, then advances the clock
 // to horizon. Events scheduled beyond the horizon remain in the calendar.
 func (s *Simulation) RunUntil(horizon Time) {
-	for len(s.heap) > 0 && s.events[s.heap[0]].time <= horizon {
+	for s.peek() && s.events[s.heap[0]].time <= horizon {
 		s.Step()
 	}
 	if s.now < horizon {

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ocb"
+	"repro/internal/sim"
 	"repro/internal/storage"
 )
 
@@ -173,6 +174,7 @@ var (
 	placementChoices    = []string{"sequential", "optimized"}
 	clusteringChoices   = []string{"none", "dstc", "greedygraph"}
 	prefetchChoices     = []string{"none", "oneahead"}
+	calendarChoices     = []string{"auto", "heap", "wheel"}
 )
 
 var systemClassByName = map[string]core.SystemClass{
@@ -196,6 +198,12 @@ var clusteringByName = map[string]core.ClusteringKind{
 var prefetchByName = map[string]core.PrefetchKind{
 	"none":     core.NoPrefetch,
 	"oneahead": core.OneAhead,
+}
+
+var calendarByName = map[string]sim.CalendarKind{
+	"auto":  sim.AutoCalendar,
+	"heap":  sim.HeapCalendar,
+	"wheel": sim.WheelCalendar,
 }
 
 // paramTable registers every sweepable parameter. Config-level knobs come
@@ -251,6 +259,26 @@ var paramTable = []Param{
 		})),
 	boolParam("physoids", "physical OIDs (Texas-style reference fixup on reorganization)",
 		func(cfg *core.Config, _ *ocb.Params, v bool) { cfg.PhysicalOIDs = v }),
+	// Failure-injection knobs (§5 extension module). mtbf and failures both
+	// write Failures.Enabled, so grids refuse axes over both at once.
+	withConflict("failures", numParam("mtbf", "server failure MTBF in ms (§5 extension; 0 = no failures)", false,
+		func(cfg *core.Config, _ *ocb.Params, v float64) {
+			if v > 0 {
+				cfg.Failures.Enabled = true
+				cfg.Failures.MTBFMs = v
+			} else {
+				cfg.Failures = core.FailureParams{}
+			}
+		})),
+	numParam("repair", "mean failure repair time in ms (§5 extension)", false,
+		func(cfg *core.Config, _ *ocb.Params, v float64) { cfg.Failures.MeanRepairMs = v }),
+	withConflict("failures", boolParam("failures", "failure injection on/off (uses the configured MTBF/repair times)",
+		func(cfg *core.Config, _ *ocb.Params, v bool) { cfg.Failures.Enabled = v })),
+
+	enumParam("calendar", "event-calendar strategy of the simulation kernel (bit-identical results; speed only)", calendarChoices,
+		func(cfg *core.Config, _ *ocb.Params, v string) { cfg.Calendar = calendarByName[v] }),
+	intParam("calhint", "event-calendar pre-size hint (expected pending-event peak)", false,
+		func(cfg *core.Config, _ *ocb.Params, v int) { cfg.CalendarHint = v }),
 
 	intParam("no", "object-base instances (OCB NO)", true,
 		func(_ *core.Config, p *ocb.Params, v int) { p.NO = v }),

@@ -33,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ocb"
 	"repro/internal/rng"
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -168,6 +169,14 @@ type Options struct {
 	// (several sweeps in one session); by default each run creates its
 	// own pool spanning all points. Results are identical either way.
 	Pool *core.ContextPool
+	// Calendar, when not AutoCalendar, forces every cell's simulation onto
+	// the given event-calendar strategy (overriding the cell's Config).
+	// Results are bit-identical for every calendar; only speed changes.
+	Calendar sim.CalendarKind
+	// CalendarHint, when positive, pre-sizes every cell's event calendar
+	// to the given peak depth (and, past sim.WheelAutoThreshold, flips
+	// AutoCalendar cells onto the timing wheel).
+	CalendarHint int
 	// Progress, when non-nil, receives one line per completed point.
 	Progress func(string)
 }
@@ -506,6 +515,12 @@ func (s *Sweep) Run(o Options) (*Result, error) {
 			if pt.Apply != nil {
 				pt.Apply(&cfg, &params)
 			}
+		}
+		if o.Calendar != sim.AutoCalendar {
+			cfg.Calendar = o.Calendar
+		}
+		if o.CalendarHint > 0 {
+			cfg.CalendarHint = o.CalendarHint
 		}
 		seed := cellSeed(o.Seed, axes, coords)
 		pr := PointResult{

@@ -27,6 +27,8 @@ GOMAXPROCS_EFF="${GOMAXPROCS:-$(nproc 2>/dev/null || echo unknown)}"
 
 {
   go test -run '^$' -bench 'BenchmarkScheduleStep|BenchmarkScheduleCancel|BenchmarkScheduleRun' -benchmem ./internal/sim/
+  go test -run '^$' -bench 'BenchmarkWheelScheduleStep|BenchmarkWheelScheduleCancel' -benchmem ./internal/sim/
+  go test -run '^$' -bench 'BenchmarkCalendarScale' -benchmem ./internal/sim/
   go test -run '^$' -bench 'BenchmarkAcquireReleaseCycle|BenchmarkAcquireConflictDispatch|BenchmarkReleaseAllWide' -benchmem ./internal/lock/
   go test -run '^$' -bench 'BenchmarkTxnSubmitCommit' -benchmem ./internal/core/
   go test -run '^$' -bench 'BenchmarkOCBGenerate' -benchmem ./internal/ocb/
@@ -41,16 +43,18 @@ awk -v date="$(date +%Y-%m-%d)" \
 /^Benchmark/ {
   name = $1; sub(/-[0-9]+$/, "", name)
   iters = $2; ns = $3
-  bop = ""; aop = ""; ios = ""
+  bop = ""; aop = ""; ios = ""; peak = ""
   for (i = 4; i <= NF; i++) {
     if ($(i) == "B/op") bop = $(i - 1)
     else if ($(i) == "allocs/op") aop = $(i - 1)
     else if ($(i) == "ios/point" || $(i) == "headline") ios = $(i - 1)
+    else if ($(i) == "peakcal") peak = $(i - 1)
   }
   line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
   if (bop != "") line = line sprintf(", \"bytes_per_op\": %s", bop)
   if (aop != "") line = line sprintf(", \"allocs_per_op\": %s", aop)
   if (ios != "") line = line sprintf(", \"ios_per_point\": %s", ios)
+  if (peak != "") line = line sprintf(", \"peak_calendar_depth\": %s", peak)
   lines[n++] = line "}"
 }
 END {

@@ -12,6 +12,7 @@ cd "$(dirname "$0")/.."
 
 THRESHOLD_PCT="${THRESHOLD_PCT:-10}"
 GUARDED="${GUARDED:-BenchmarkScheduleStep BenchmarkScheduleCancel BenchmarkScheduleRun \
+BenchmarkWheelScheduleStep BenchmarkWheelScheduleCancel BenchmarkReleaseAllWide \
 BenchmarkAcquireReleaseCycle BenchmarkAcquireConflictDispatch BenchmarkTxnSubmitCommit \
 BenchmarkOCBGenerate BenchmarkOCBGenerateInto BenchmarkFig6_O2Instances20}"
 
