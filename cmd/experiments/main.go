@@ -25,10 +25,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/report"
@@ -62,6 +67,17 @@ func main() {
 	calhint := flag.Int("calhint", 0,
 		"event-calendar pre-size hint: expected pending-event peak (0 = derive from MPL/users)")
 
+	journalPath := flag.String("journal", "",
+		"write a resumable JSONL checkpoint of completed sweep cells to this file (-sweep mode)")
+	resumePath := flag.String("resume", "",
+		"resume an interrupted -sweep run from its checkpoint journal: completed cells replay, only the remainder executes, and the merged result is byte-identical to an uninterrupted run")
+	onError := flag.String("on-error", "fail",
+		"failed-cell policy: fail (abort the run), skip (record the failure and continue) or retry (exponential backoff, then skip)")
+	retries := flag.Int("retries", 0,
+		"per-cell retry budget under '-on-error retry' (0 = default)")
+	cellTimeout := flag.Duration("cell-timeout", 0,
+		"wall-clock budget per sweep cell, e.g. 30s; a cell exceeding it fails under the -on-error policy (0 = unbounded)")
+
 	var sweeps axisSpecs
 	flag.Var(&sweeps, "sweep",
 		"user-defined sweep axis, param=lo:hi:step, param=v1,v2,… or param=A,B,… for enums; repeat for a cross-product grid (overrides -run; see -sweep-params)")
@@ -80,6 +96,39 @@ func main() {
 		return
 	}
 
+	// Validate inputs before any simulation starts: a typo'd flag should
+	// fail in milliseconds with the legal choices, not after minutes of
+	// replications (unknown -sweep parameters and -calendar names already
+	// list theirs in ParseSweepAxis/parseCalendar).
+	if *reps < 1 {
+		fatal(fmt.Errorf("-reps %d: need at least 1 replication per point", *reps))
+	}
+	if *workers < 0 {
+		fatal(fmt.Errorf("-workers %d: use 0 for all cores, 1 for sequential, or a positive worker count", *workers))
+	}
+	if *calhint < 0 {
+		fatal(fmt.Errorf("-calhint %d: the calendar pre-size hint is an expected event count and must be ≥ 0", *calhint))
+	}
+	if *no < 0 || *nc < 0 || *hotn < 0 {
+		fatal(fmt.Errorf("-no/-nc/-hotn must be ≥ 0 (0 keeps the Table 5 default)"))
+	}
+	if *retries < 0 {
+		fatal(fmt.Errorf("-retries %d: the retry budget must be ≥ 0", *retries))
+	}
+	if *cellTimeout < 0 {
+		fatal(fmt.Errorf("-cell-timeout %v: the per-cell budget must be ≥ 0", *cellTimeout))
+	}
+	policy, err := voodb.ParseFailurePolicy(*onError)
+	if err != nil {
+		fatal(fmt.Errorf("-on-error: %w", err))
+	}
+	if (*journalPath != "" || *resumePath != "") && len(sweeps) == 0 {
+		fatal(fmt.Errorf("-journal/-resume checkpoint user sweeps; add at least one -sweep axis"))
+	}
+	if *journalPath != "" && *resumePath != "" {
+		fatal(fmt.Errorf("-resume already appends new cells to the journal it resumes; drop -journal"))
+	}
+
 	var progress func(string)
 	if *verbose {
 		progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
@@ -90,12 +139,22 @@ func main() {
 		fatal(err)
 	}
 
+	// Graceful shutdown: SIGINT/SIGTERM cancel the run cooperatively — the
+	// current cells stop at their next replication boundary or kernel stop
+	// check, the journal keeps every completed cell, and whatever finished
+	// is rendered before exiting. A second signal kills the process (the
+	// signal handler is restored once the context is cancelled).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if len(sweeps) > 0 {
-		runUserSweep(userSweepFlags{
+		runUserSweep(ctx, userSweepFlags{
 			axes: sweeps, metrics: *metrics, system: *system,
 			no: *no, nc: *nc, hotn: *hotn,
 			reps: *reps, seed: *seed, workers: *workers, shareBases: *shareBases,
 			calendar: calKind, calhint: *calhint,
+			journal: *journalPath, resume: *resumePath,
+			policy: policy, retries: *retries, cellTimeout: *cellTimeout,
 			csv: *csv, chart: *chart, progress: progress,
 		})
 		return
@@ -103,7 +162,8 @@ func main() {
 
 	opts := experiments.Options{Replications: *reps, Seed: *seed, Workers: *workers,
 		ShareBases: *shareBases, Calendar: calKind, CalendarHint: *calhint,
-		Progress: progress}
+		Progress: progress,
+		Policy:   policy, Retries: *retries, CellTimeout: *cellTimeout}
 	ids := experiments.Names()
 	if *run != "all" {
 		ids = strings.Split(*run, ",")
@@ -111,14 +171,17 @@ func main() {
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		if strings.HasPrefix(id, "fig") {
-			fig, err := experiments.RunFigure(id, opts)
+			fig, err := experiments.FigureContext(ctx, id, opts)
 			if err != nil {
+				if fig != nil && len(fig.Points) > 0 {
+					printFigure(fig, *csv, *chart)
+				}
 				fatal(err)
 			}
 			printFigure(fig, *csv, *chart)
 			continue
 		}
-		tbl, err := experiments.RunTable(id, opts)
+		tbl, err := experiments.TableContext(ctx, id, opts)
 		if err != nil {
 			fatal(err)
 		}
@@ -151,14 +214,19 @@ type userSweepFlags struct {
 	shareBases      bool
 	calendar        voodb.CalendarKind
 	calhint         int
+	journal, resume string
+	policy          voodb.SweepFailurePolicy
+	retries         int
+	cellTimeout     time.Duration
 	csv, chart      bool
 	progress        func(string)
 }
 
 // runUserSweep compiles and executes a declarative sweep from the flags —
 // entirely through the public voodb API. One -sweep flag runs the classic
-// 1-D study; several run the cross-product grid.
-func runUserSweep(f userSweepFlags) {
+// 1-D study; several run the cross-product grid. Interruption (ctx) and
+// failed cells render whatever completed, annotated with the cell counts.
+func runUserSweep(ctx context.Context, f userSweepFlags) {
 	axes := make([]voodb.Axis, len(f.axes))
 	names := make([]string, len(f.axes))
 	for i, spec := range f.axes {
@@ -206,7 +274,7 @@ func runUserSweep(f userSweepFlags) {
 	} else {
 		s.Axes = voodb.Grid(axes...)
 	}
-	res, err := voodb.RunSweep(s, voodb.SweepOptions{
+	opts := voodb.SweepOptions{
 		Replications: f.reps,
 		Seed:         f.seed,
 		Workers:      f.workers,
@@ -214,8 +282,43 @@ func runUserSweep(f userSweepFlags) {
 		Calendar:     f.calendar,
 		CalendarHint: f.calhint,
 		Progress:     f.progress,
-	})
-	if err != nil {
+		Policy:       f.policy,
+		Retries:      f.retries,
+		CellTimeout:  f.cellTimeout,
+	}
+	var journal *voodb.SweepJournal
+	switch {
+	case f.resume != "":
+		j, data, err := s.ResumeJournal(f.resume, opts)
+		if err != nil {
+			fatal(err)
+		}
+		journal = j
+		opts.Journal, opts.Resume = j, data
+		note := ""
+		if data.Truncated {
+			note = " (dropped a torn final record)"
+		}
+		fmt.Fprintf(os.Stderr, "experiments: resuming %s: replaying %d/%d cells%s\n",
+			f.resume, data.Len(), data.Header.Cells, note)
+	case f.journal != "":
+		j, err := s.StartJournal(f.journal, opts)
+		if err != nil {
+			fatal(err)
+		}
+		journal = j
+		opts.Journal = j
+	}
+
+	res, err := voodb.RunSweepContext(ctx, s, opts)
+	if journal != nil {
+		// Flush the checkpoint before rendering: if rendering dies, the
+		// journal still resumes.
+		if cerr := journal.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", cerr)
+		}
+	}
+	if res == nil {
 		fatal(err)
 	}
 	switch {
@@ -231,9 +334,9 @@ func runUserSweep(f userSweepFlags) {
 	if f.chart {
 		if res.Dims() == 2 {
 			for _, m := range ms {
-				hm, err := res.Heatmap(m)
-				if err != nil {
-					fatal(err)
+				hm, herr := res.Heatmap(m)
+				if herr != nil {
+					fatal(herr)
 				}
 				fmt.Println(hm)
 			}
@@ -241,6 +344,30 @@ func runUserSweep(f userSweepFlags) {
 			fmt.Print(res.Chart(12))
 		}
 	}
+	if res.Partial() {
+		fmt.Fprintf(os.Stderr, "experiments: sweep incomplete: %d completed, %d failed, %d pending of %d cells\n",
+			res.Completed(), res.Failed(), res.Pending(), len(res.Points))
+		for _, ce := range res.Failures {
+			fmt.Fprintln(os.Stderr, "experiments:", ce)
+		}
+		if path := firstNonEmpty(f.resume, f.journal); path != "" && res.Pending() > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: rerun with -resume %s to finish the remaining cells\n", path)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130) // interrupted by signal
+		}
+		os.Exit(1)
+	}
+}
+
+func firstNonEmpty(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
 }
 
 // printSweepParams lists the registry: each parameter's kind and, for
@@ -272,6 +399,10 @@ func printFigure(f *experiments.Figure, csv, chart bool) {
 		fmt.Sprintf("%s — %s (paper curves digitized, approximate)", f.ID, f.Title),
 		f.XLabel, "paper bench", "paper sim", "ours", "±95%", "hit%")
 	for i, p := range f.Points {
+		if p.IOs.N == 0 { // point never ran (interrupted mid-figure)
+			t.Addf(p.X, f.Paper.Benchmark[i], f.Paper.Simulated[i], "(pending)", "", "")
+			continue
+		}
 		t.Addf(p.X, f.Paper.Benchmark[i], f.Paper.Simulated[i], p.IOs.Mean, p.IOs.HalfWidth, p.HitPct)
 	}
 	emit(t, csv)

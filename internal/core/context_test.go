@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/ocb"
@@ -37,7 +38,7 @@ func TestContextReuseMatchesFreshContexts(t *testing.T) {
 	// Rebuild-everything reference: a fresh context per replication.
 	rows := make([]repRow, e.Replications)
 	for rep := range rows {
-		row, err := e.runRep(&repContext{}, rep)
+		row, err := e.runRep(context.Background(), &repContext{}, rep)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -74,7 +75,7 @@ func TestContextReuseMatchesFreshDSTC(t *testing.T) {
 
 	rows := make([]dstcRow, e.Replications)
 	for rep := range rows {
-		row, err := e.runRep(&repContext{}, rep)
+		row, err := e.runRep(context.Background(), &repContext{}, rep)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -82,9 +83,9 @@ func TestContextReuseMatchesFreshDSTC(t *testing.T) {
 	}
 
 	reusedRows := make([]dstcRow, e.Replications)
-	ctx := &repContext{}
+	c := &repContext{}
 	for rep := range reusedRows {
-		row, err := e.runRep(ctx, rep)
+		row, err := e.runRep(context.Background(), c, rep)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -150,15 +151,15 @@ func TestSharedPoolMatchesPrivateContexts(t *testing.T) {
 // allocations — only the per-batch user closures remain.
 func TestWarmContextAllocs(t *testing.T) {
 	e := Experiment{Config: smallConfig(), Params: smallParams(), Seed: 500, Replications: 64, Workers: 1}
-	ctx := &repContext{}
+	c := &repContext{}
 	for rep := 0; rep < 8; rep++ { // warm every arena and pool to its high-water mark
-		if _, err := e.runRep(ctx, rep); err != nil {
+		if _, err := e.runRep(context.Background(), c, rep); err != nil {
 			t.Fatal(err)
 		}
 	}
 	rep := 8
 	allocs := testing.AllocsPerRun(8, func() {
-		if _, err := e.runRep(ctx, rep); err != nil {
+		if _, err := e.runRep(context.Background(), c, rep); err != nil {
 			t.Fatal(err)
 		}
 		rep++

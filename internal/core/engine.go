@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -170,8 +171,10 @@ type Experiment struct {
 	// Base == nil (see experiments.Options.ShareBases). Either way the
 	// supplier must be deterministic in rep, and the returned database is
 	// treated as immutable, so it may be shared across concurrent
-	// replications and sweep points.
-	Base func(rep int, seed uint64) *ocb.Database
+	// replications and sweep points. A supplier that cannot produce the
+	// base returns an error (never panics): the error fails this
+	// replication's experiment through the normal error path.
+	Base func(rep int, seed uint64) (*ocb.Database, error)
 }
 
 func (e Experiment) confidence() float64 {
@@ -201,33 +204,59 @@ type repRow struct {
 	calPeak              int
 }
 
-// runRep executes one replication on ctx: obtain the replication's object
+// installStopCheck points the run's kernel-level stop check at the
+// context's cancellation signal, so a cancelled or deadline-hit experiment
+// interrupts a replication mid-simulation (at the kernel's coarse poll
+// interval) instead of having to finish it. With an uncancellable context
+// no hook is installed and the kernel loop stays hook-free.
+func installStopCheck(run *Run, ctx context.Context) {
+	if ctx.Done() == nil {
+		return
+	}
+	run.SetStopCheck(func() bool { return ctx.Err() != nil })
+}
+
+// runRep executes one replication on c: obtain the replication's object
 // base (shared via Base, or regenerated into the context) and workload
 // from replication-specific seeds, reset the context's model, play the
-// cold run unmeasured and the hot run measured.
-func (e Experiment) runRep(ctx *repContext, rep int) (repRow, error) {
+// cold run unmeasured and the hot run measured. ctx cancellation is
+// checked between the heavy phases and, via the kernel stop check, at a
+// coarse interval inside each batch.
+func (e Experiment) runRep(ctx context.Context, c *repContext, rep int) (repRow, error) {
 	seed := repSeed(e.Seed, rep)
 	var db *ocb.Database
+	var err error
 	if e.Base != nil {
-		db = e.Base(rep, seed)
-	}
-	if db == nil {
-		var err error
-		if db, err = ctx.generate(e.Params, seed); err != nil {
+		if db, err = e.Base(rep, seed); err != nil {
 			return repRow{}, err
 		}
 	}
-	run, err := ctx.runFor(e.Config, db, seed)
+	if db == nil {
+		if db, err = c.generate(e.Params, seed); err != nil {
+			return repRow{}, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return repRow{}, err
+	}
+	run, err := c.runFor(e.Config, db, seed)
 	if err != nil {
 		return repRow{}, err
 	}
-	w := ctx.workload()
+	installStopCheck(run, ctx)
+	w := c.workload()
 	w.GenerateInto(db, seed+1)
 	if len(w.Cold) > 0 {
 		run.ExecuteBatch(w.Cold)
 	}
 	st := run.ExecuteBatch(w.Hot)
 	w.Release()
+	if run.Halted() {
+		// The batch was interrupted mid-simulation; its metrics are
+		// meaningless and the model state is mid-flight (the parallel
+		// runner discards the context on error).
+		return repRow{}, ctx.Err()
+	}
 	return repRow{
 		ios:       float64(st.IOs),
 		reads:     float64(st.Reads),
@@ -245,14 +274,25 @@ func (e Experiment) runRep(ctx *repContext, rep int) (repRow, error) {
 
 // Run executes the experiment's replications — in parallel across Workers
 // goroutines — and folds the per-replication metrics in replication order.
-func (e Experiment) Run() (*Result, error) {
+func (e Experiment) Run() (*Result, error) { return e.RunContext(context.Background()) }
+
+// RunContext is Run under a context: cancellation (or a deadline) is
+// observed at replication boundaries and, through the kernel's coarse stop
+// check, mid-replication — never per event, so the hot path stays
+// allocation-free. A cancelled experiment returns ctx's error; no partial
+// Result is produced (partial-campaign semantics live one layer up, in the
+// sweep cell scheduler). A replication panic is recovered into a
+// *PanicError instead of crashing the campaign, and the worker context it
+// may have poisoned is discarded rather than re-pooled.
+func (e Experiment) RunContext(ctx context.Context) (*Result, error) {
 	if e.Replications < 1 {
 		return nil, fmt.Errorf("core: Replications = %d", e.Replications)
 	}
 	if err := e.Params.Validate(); err != nil {
 		return nil, err
 	}
-	rows, err := runReplications(e.Replications, e.Workers, e.Pool, e.runRep)
+	rows, err := runReplications(ctx, e.Replications, e.Workers, e.Pool,
+		func(c *repContext, rep int) (repRow, error) { return e.runRep(ctx, c, rep) })
 	if err != nil {
 		return nil, err
 	}
@@ -318,17 +358,21 @@ type dstcRow struct {
 	clusters, objPer    float64
 }
 
-func (e DSTCExperiment) runRep(ctx *repContext, rep int) (dstcRow, error) {
+func (e DSTCExperiment) runRep(ctx context.Context, c *repContext, rep int) (dstcRow, error) {
 	seed := repSeed(e.Seed, rep)
-	db, err := ctx.generate(e.Params, seed)
+	db, err := c.generate(e.Params, seed)
 	if err != nil {
 		return dstcRow{}, err
 	}
-	run, err := ctx.runFor(e.Config, db, seed)
+	if err := ctx.Err(); err != nil {
+		return dstcRow{}, err
+	}
+	run, err := c.runFor(e.Config, db, seed)
 	if err != nil {
 		return dstcRow{}, err
 	}
-	w := ctx.workload()
+	installStopCheck(run, ctx)
+	w := c.workload()
 	w.GenerateHierarchyInto(db, seed+1, e.Transactions, e.Depth)
 	pre := run.ExecuteBatch(w.Hot)
 	w.Release()
@@ -338,6 +382,9 @@ func (e DSTCExperiment) runRep(ctx *repContext, rep int) (dstcRow, error) {
 	w.GenerateHierarchyInto(db, seed+2, e.Transactions, e.Depth)
 	post := run.ExecuteBatch(w.Hot)
 	w.Release()
+	if run.Halted() {
+		return dstcRow{}, ctx.Err()
+	}
 
 	row := dstcRow{
 		pre:      float64(pre.IOs),
@@ -354,7 +401,11 @@ func (e DSTCExperiment) runRep(ctx *repContext, rep int) (dstcRow, error) {
 }
 
 // Run executes the DSTC experiment, parallelized like Experiment.Run.
-func (e DSTCExperiment) Run() (*DSTCResult, error) {
+func (e DSTCExperiment) Run() (*DSTCResult, error) { return e.RunContext(context.Background()) }
+
+// RunContext is Run under a context, with the same cancellation and
+// panic-isolation contract as Experiment.RunContext.
+func (e DSTCExperiment) RunContext(ctx context.Context) (*DSTCResult, error) {
 	if e.Replications < 1 {
 		return nil, fmt.Errorf("core: Replications = %d", e.Replications)
 	}
@@ -365,7 +416,8 @@ func (e DSTCExperiment) Run() (*DSTCResult, error) {
 	if conf == 0 {
 		conf = 0.95
 	}
-	rows, err := runReplications(e.Replications, e.Workers, e.Pool, e.runRep)
+	rows, err := runReplications(ctx, e.Replications, e.Workers, e.Pool,
+		func(c *repContext, rep int) (dstcRow, error) { return e.runRep(ctx, c, rep) })
 	if err != nil {
 		return nil, err
 	}

@@ -176,6 +176,19 @@ func (r *Run) Calendar() sim.CalendarKind { return r.sim.Calendar() }
 // run's last Reset — the calendar depth this workload actually exercised.
 func (r *Run) CalendarPeak() int { return r.sim.PeakPending() }
 
+// SetStopCheck installs a cooperative halt hook on the run's simulation
+// kernel: ExecuteBatch (and any other drain of the calendar) polls check
+// at the kernel's coarse StopCheckInterval and stops early when it returns
+// true. This is how experiment-level cancellation and per-cell deadlines
+// interrupt a replication mid-simulation with zero per-event cost. A
+// halted run's state is mid-flight — check Halted after a batch and
+// discard the replication. Run.Reset (via sim.Reset) clears the hook.
+func (r *Run) SetStopCheck(check func() bool) { r.sim.SetStopCheck(check) }
+
+// Halted reports whether the last batch stopped early on the stop check
+// rather than running to completion.
+func (r *Run) Halted() bool { return r.sim.Halted() }
+
 // LastClusterSummary returns the Table 7 statistics of the most recent
 // reorganization.
 func (r *Run) LastClusterSummary() cluster.Summary { return r.lastSummary }

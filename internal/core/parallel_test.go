@@ -77,9 +77,9 @@ func TestResolveWorkers(t *testing.T) {
 	}
 }
 
-// TestParallelErrorReporting: when replications fail, the reported error
-// must not depend on goroutine scheduling — the lowest replication index
-// wins.
+// TestParallelErrorReporting: when replications fail, the engine reports
+// the lowest recorded replication index's error (later replications are
+// not started once one fails) and produces no result.
 func TestParallelErrorReporting(t *testing.T) {
 	bad := Experiment{Config: smallConfig(), Params: smallParams(), Seed: 1, Replications: 6, Workers: 4}
 	bad.Config.BufferPages = 0 // NewRun fails identically in every replication

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/ocb"
+)
+
+// TestRunContextCancelled: a pre-cancelled context fails the experiment
+// with the context's error before any replication runs, at every worker
+// count.
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		e := Experiment{Config: smallConfig(), Params: smallParams(), Seed: 7,
+			Replications: 4, Workers: workers}
+		res, err := e.RunContext(ctx)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if res != nil {
+			t.Fatalf("Workers=%d: cancelled experiment produced a result", workers)
+		}
+	}
+}
+
+// TestRunContextCancelMidway: cancelling after the first replication stops
+// the experiment at a replication boundary (or mid-replication via the
+// kernel stop check) — it must return the cancellation error, not hang or
+// finish all replications.
+func TestRunContextCancelMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := 0
+	e := Experiment{Config: smallConfig(), Params: smallParams(), Seed: 7,
+		Replications: 16, Workers: 1,
+		Base: func(rep int, seed uint64) (*ocb.Database, error) {
+			started++
+			if started == 2 {
+				cancel()
+			}
+			return nil, nil // fall through to context generation
+		}}
+	if _, err := e.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if started >= 16 {
+		t.Fatalf("all %d replications ran despite cancellation", started)
+	}
+}
+
+// TestBaseErrorPropagates: a Base supplier error fails the experiment
+// through the normal error path (no panic), sequentially and in parallel.
+func TestBaseErrorPropagates(t *testing.T) {
+	boom := fmt.Errorf("base generation failed")
+	for _, workers := range []int{1, 4} {
+		e := Experiment{Config: smallConfig(), Params: smallParams(), Seed: 7,
+			Replications: 4, Workers: workers,
+			Base: func(rep int, seed uint64) (*ocb.Database, error) {
+				if rep == 2 {
+					return nil, boom
+				}
+				return nil, nil
+			}}
+		if _, err := e.Run(); !errors.Is(err, boom) {
+			t.Fatalf("Workers=%d: err = %v, want %v", workers, err, boom)
+		}
+	}
+}
+
+// TestPanicRecoveredAsError: a panic inside a replication body surfaces as
+// a *PanicError carrying the replication index and a stack, instead of
+// crashing the process — sequentially and in parallel.
+func TestPanicRecoveredAsError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		e := Experiment{Config: smallConfig(), Params: smallParams(), Seed: 7,
+			Replications: 4, Workers: workers,
+			Base: func(rep int, seed uint64) (*ocb.Database, error) {
+				if rep == 1 {
+					panic("injected replication panic")
+				}
+				return nil, nil
+			}}
+		_, err := e.Run()
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("Workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Rep != 1 || len(pe.Stack) == 0 {
+			t.Fatalf("Workers=%d: PanicError{Rep:%d, Stack:%d bytes}, want Rep=1 with stack",
+				workers, pe.Rep, len(pe.Stack))
+		}
+	}
+}
+
+// TestPanicDoesNotPoisonPool is the pool-hygiene contract: a pooled
+// context whose replication panicked mid-run must be discarded, so a later
+// experiment drawing from the same pool sees only pristine contexts and
+// reproduces the no-failure result bit for bit.
+func TestPanicDoesNotPoisonPool(t *testing.T) {
+	cfg, params := smallConfig(), smallParams()
+	clean := Experiment{Config: cfg, Params: params, Seed: 42, Replications: 4}
+
+	for _, workers := range []int{1, 4} {
+		want, err := Experiment{Config: cfg, Params: params, Seed: 42,
+			Replications: 4, Workers: workers}.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		pool := NewContextPool()
+		// Warm the pool, then poison it: a panic fired from Base after the
+		// context has already built model state in earlier replications.
+		warm := clean
+		warm.Workers = workers
+		warm.Pool = pool
+		if _, err := warm.Run(); err != nil {
+			t.Fatal(err)
+		}
+		poison := clean
+		poison.Workers = workers
+		poison.Pool = pool
+		poison.Base = func(rep int, seed uint64) (*ocb.Database, error) {
+			if rep == 3 {
+				panic("poison")
+			}
+			return nil, nil
+		}
+		var pe *PanicError
+		if _, err := poison.Run(); !errors.As(err, &pe) {
+			t.Fatalf("Workers=%d: poison run err = %v, want *PanicError", workers, err)
+		}
+
+		// The next experiment on the same pool must match a pool-free run
+		// exactly: the panicked context never re-entered the pool.
+		after := clean
+		after.Workers = workers
+		after.Pool = pool
+		got, err := after.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *got != *want {
+			t.Fatalf("Workers=%d: pool poisoned — post-panic result diverged:\n%+v\n%+v",
+				workers, *got, *want)
+		}
+	}
+}

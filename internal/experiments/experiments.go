@@ -11,7 +11,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/ocb"
 	"repro/internal/paper"
@@ -110,6 +112,13 @@ type Options struct {
 	CalendarHint int
 	// Progress, when non-nil, receives one line per completed point.
 	Progress func(string)
+	// Policy, Retries, RetryBackoff and CellTimeout configure the sweep
+	// engine's fault tolerance (see sweep.Options): what happens when a
+	// point fails, how often to retry it, and how long one point may run.
+	Policy       sweep.FailurePolicy
+	Retries      int
+	RetryBackoff time.Duration
+	CellTimeout  time.Duration
 }
 
 func (o Options) reps() int {
@@ -135,6 +144,10 @@ func (o Options) sweepOptions() sweep.Options {
 		Calendar:     o.Calendar,
 		CalendarHint: o.CalendarHint,
 		Progress:     o.Progress,
+		Policy:       o.Policy,
+		Retries:      o.Retries,
+		RetryBackoff: o.RetryBackoff,
+		CellTimeout:  o.CellTimeout,
 	}
 }
 
@@ -149,14 +162,16 @@ func table5Params(nc, no int) ocb.Params {
 
 // runFigure executes a figure's declarative spec and adapts the generic
 // multi-metric result onto the legacy Figure shape: the I/O interval and
-// the hit percentage, next to the paper's digitized curves.
-func runFigure(id string, ref paper.Series, o Options) (*Figure, error) {
+// the hit percentage, next to the paper's digitized curves. An
+// interrupted run returns the partially adapted figure alongside ctx's
+// error (unreached points carry zero intervals).
+func runFigure(ctx context.Context, id string, ref paper.Series, o Options) (*Figure, error) {
 	spec, err := Spec(id)
 	if err != nil {
 		return nil, err
 	}
-	res, err := spec.Run(o.sweepOptions())
-	if err != nil {
+	res, err := spec.RunContext(ctx, o.sweepOptions())
+	if res == nil {
 		return nil, err
 	}
 	f := &Figure{ID: res.Name, Title: res.Title, XLabel: res.XLabel, Paper: ref}
@@ -170,26 +185,30 @@ func runFigure(id string, ref paper.Series, o Options) (*Figure, error) {
 			f.CalendarPeak = pr.Result.CalendarPeak
 		}
 	}
-	return f, nil
+	return f, err
 }
 
 // Fig6 reproduces Figure 6: O₂, I/Os vs database size, 20 classes.
-func Fig6(o Options) (*Figure, error) { return runFigure("fig6", paper.Fig6, o) }
+func Fig6(o Options) (*Figure, error) { return runFigure(context.Background(), "fig6", paper.Fig6, o) }
 
 // Fig7 reproduces Figure 7: O₂, I/Os vs database size, 50 classes.
-func Fig7(o Options) (*Figure, error) { return runFigure("fig7", paper.Fig7, o) }
+func Fig7(o Options) (*Figure, error) { return runFigure(context.Background(), "fig7", paper.Fig7, o) }
 
 // Fig8 reproduces Figure 8: O₂, I/Os vs server cache size.
-func Fig8(o Options) (*Figure, error) { return runFigure("fig8", paper.Fig8, o) }
+func Fig8(o Options) (*Figure, error) { return runFigure(context.Background(), "fig8", paper.Fig8, o) }
 
 // Fig9 reproduces Figure 9: Texas, I/Os vs database size, 20 classes.
-func Fig9(o Options) (*Figure, error) { return runFigure("fig9", paper.Fig9, o) }
+func Fig9(o Options) (*Figure, error) { return runFigure(context.Background(), "fig9", paper.Fig9, o) }
 
 // Fig10 reproduces Figure 10: Texas, I/Os vs database size, 50 classes.
-func Fig10(o Options) (*Figure, error) { return runFigure("fig10", paper.Fig10, o) }
+func Fig10(o Options) (*Figure, error) {
+	return runFigure(context.Background(), "fig10", paper.Fig10, o)
+}
 
 // Fig11 reproduces Figure 11: Texas, I/Os vs available memory.
-func Fig11(o Options) (*Figure, error) { return runFigure("fig11", paper.Fig11, o) }
+func Fig11(o Options) (*Figure, error) {
+	return runFigure(context.Background(), "fig11", paper.Fig11, o)
+}
 
 // tableRowSpec pairs one published table row with the sweep metric that
 // reproduces it.
@@ -200,13 +219,15 @@ type tableRowSpec struct {
 }
 
 // runTable executes a table's declarative spec and adapts the per-variant
-// metric vectors onto the legacy TableResult rows.
-func runTable(id, altName string, rows []tableRowSpec, o Options) (*TableResult, error) {
+// metric vectors onto the legacy TableResult rows. Unlike figures, a
+// table needs every variant cell, so any interruption returns the error
+// alone.
+func runTable(ctx context.Context, id, altName string, rows []tableRowSpec, o Options) (*TableResult, error) {
 	spec, err := Spec(id)
 	if err != nil {
 		return nil, err
 	}
-	res, err := spec.Run(o.sweepOptions())
+	res, err := spec.RunContext(ctx, o.sweepOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -231,8 +252,10 @@ func runTable(id, altName string, rows []tableRowSpec, o Options) (*TableResult,
 // Table6 reproduces Table 6: DSTC on the mid-size base, with the paper's
 // benchmark column matched by our physical-OID mode and its simulation
 // column by our logical-OID mode.
-func Table6(o Options) (*TableResult, error) {
-	return runTable("table6", "ours (logical OIDs)", []tableRowSpec{
+func Table6(o Options) (*TableResult, error) { return TableContext(context.Background(), "table6", o) }
+
+func table6(ctx context.Context, o Options) (*TableResult, error) {
+	return runTable(ctx, "table6", "ours (logical OIDs)", []tableRowSpec{
 		{"Pre-clustering usage", sweep.PreIOs, paper.Table6[0]},
 		{"Clustering overhead", sweep.OverheadIOs, paper.Table6[1]},
 		{"Post-clustering usage", sweep.PostIOs, paper.Table6[2]},
@@ -241,16 +264,20 @@ func Table6(o Options) (*TableResult, error) {
 }
 
 // Table7 reproduces Table 7: DSTC cluster statistics.
-func Table7(o Options) (*TableResult, error) {
-	return runTable("table7", "", []tableRowSpec{
+func Table7(o Options) (*TableResult, error) { return TableContext(context.Background(), "table7", o) }
+
+func table7(ctx context.Context, o Options) (*TableResult, error) {
+	return runTable(ctx, "table7", "", []tableRowSpec{
 		{"Mean number of clusters", sweep.Clusters, paper.Table7[0]},
 		{"Mean number of obj./cluster", sweep.ObjPerCluster, paper.Table7[1]},
 	}, o)
 }
 
 // Table8 reproduces Table 8: DSTC on the "large" base (8 MB of memory).
-func Table8(o Options) (*TableResult, error) {
-	return runTable("table8", "", []tableRowSpec{
+func Table8(o Options) (*TableResult, error) { return TableContext(context.Background(), "table8", o) }
+
+func table8(ctx context.Context, o Options) (*TableResult, error) {
+	return runTable(ctx, "table8", "", []tableRowSpec{
 		{"Pre-clustering usage", sweep.PreIOs, paper.Table8[0]},
 		{"Post-clustering usage", sweep.PostIOs, paper.Table8[1]},
 		{"Gain", sweep.Gain, paper.Table8[2]},
@@ -264,19 +291,26 @@ func Names() []string {
 
 // RunFigure dispatches a figure by id (fig6…fig11).
 func RunFigure(id string, o Options) (*Figure, error) {
+	return FigureContext(context.Background(), id, o)
+}
+
+// FigureContext is RunFigure with cooperative cancellation: on
+// interruption the partially adapted figure is returned alongside ctx's
+// error, so harnesses can render what completed.
+func FigureContext(ctx context.Context, id string, o Options) (*Figure, error) {
 	switch id {
 	case "fig6":
-		return Fig6(o)
+		return runFigure(ctx, id, paper.Fig6, o)
 	case "fig7":
-		return Fig7(o)
+		return runFigure(ctx, id, paper.Fig7, o)
 	case "fig8":
-		return Fig8(o)
+		return runFigure(ctx, id, paper.Fig8, o)
 	case "fig9":
-		return Fig9(o)
+		return runFigure(ctx, id, paper.Fig9, o)
 	case "fig10":
-		return Fig10(o)
+		return runFigure(ctx, id, paper.Fig10, o)
 	case "fig11":
-		return Fig11(o)
+		return runFigure(ctx, id, paper.Fig11, o)
 	default:
 		return nil, fmt.Errorf("experiments: unknown figure %q", id)
 	}
@@ -284,13 +318,18 @@ func RunFigure(id string, o Options) (*Figure, error) {
 
 // RunTable dispatches a table by id (table6…table8).
 func RunTable(id string, o Options) (*TableResult, error) {
+	return TableContext(context.Background(), id, o)
+}
+
+// TableContext is RunTable with cooperative cancellation.
+func TableContext(ctx context.Context, id string, o Options) (*TableResult, error) {
 	switch id {
 	case "table6":
-		return Table6(o)
+		return table6(ctx, o)
 	case "table7":
-		return Table7(o)
+		return table7(ctx, o)
 	case "table8":
-		return Table8(o)
+		return table8(ctx, o)
 	default:
 		return nil, fmt.Errorf("experiments: unknown table %q", id)
 	}

@@ -296,6 +296,9 @@ func ChartSeries(title string, xLabels []string, series []Series, height int) st
 			if i >= width {
 				break
 			}
+			if math.IsNaN(y) { // missing cell (failed/pending): leave a gap
+				continue
+			}
 			row := height - 1 - int(y/maxV*float64(height-1)+0.5)
 			if row < 0 {
 				row = 0

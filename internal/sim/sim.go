@@ -107,6 +107,13 @@ type Simulation struct {
 	cancelled uint64
 	peak      int // high-water mark of Pending()
 
+	// Cooperative halting (see SetStopCheck/Halt). The check is polled at
+	// a coarse, masked interval inside Run, never per event, so an
+	// uninstalled hook costs one nil comparison per loop iteration and the
+	// kernel's 0 allocs/op hot paths are untouched.
+	stopCheck func() bool
+	halted    bool
+
 	// Trace, when non-nil, is invoked for every executed event with the
 	// firing time. It exists for debugging models and is never set by the
 	// kernel itself.
@@ -155,6 +162,8 @@ func (s *Simulation) Reset() {
 	}
 	s.scheduled, s.executed, s.cancelled = 0, 0, 0
 	s.peak = 0
+	s.stopCheck = nil
+	s.halted = false
 	if s.wheel != nil {
 		s.wheel.clear(0) // keep the wheel (and its bucket storage), empty it
 	}
@@ -327,9 +336,44 @@ func (s *Simulation) Step() bool {
 	return true
 }
 
-// Run executes events until the calendar is empty.
+// StopCheckInterval is how many executed events pass between polls of the
+// SetStopCheck hook during Run. The interval bounds how stale a
+// cancellation can be (a few tens of microseconds of simulation work)
+// while keeping the check off the per-event hot path.
+const StopCheckInterval = 1 << 14
+
+// SetStopCheck installs a cooperative halt hook: Run polls check every
+// StopCheckInterval executed events and, when it returns true, stops
+// executing and marks the simulation Halted. A nil check uninstalls the
+// hook. The hook is how per-cell deadlines and campaign cancellation reach
+// into a long replication without per-event cost; it is cleared by Reset so
+// a recycled simulation never carries a stale deadline.
+func (s *Simulation) SetStopCheck(check func() bool) {
+	s.stopCheck = check
+	s.halted = false
+}
+
+// Halt stops Run before its next event, as if the stop check had fired.
+func (s *Simulation) Halt() { s.halted = true }
+
+// Halted reports whether the last Run stopped early on the stop check (or
+// Halt) rather than draining the calendar. A halted simulation's model
+// state is mid-flight and its metrics are meaningless; callers discard the
+// replication. Reset clears the flag.
+func (s *Simulation) Halted() bool { return s.halted }
+
+// Run executes events until the calendar is empty — or, with a stop check
+// installed, until the check reports the run should halt.
 func (s *Simulation) Run() {
-	for s.Step() {
+	if s.stopCheck == nil && !s.halted {
+		for s.Step() {
+		}
+		return
+	}
+	for !s.halted && s.Step() {
+		if s.executed&(StopCheckInterval-1) == 0 && s.stopCheck != nil && s.stopCheck() {
+			s.halted = true
+		}
 	}
 }
 

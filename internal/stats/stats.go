@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 )
@@ -95,6 +96,36 @@ func (s *Sample) Merge(other *Sample) {
 	if other.max > s.max {
 		s.max = other.max
 	}
+}
+
+// sampleJSON is the wire form of a Sample: every accumulator field,
+// exported. encoding/json renders float64s with the shortest decimal
+// representation that parses back to the identical bits, so a
+// marshal/unmarshal round trip reproduces the Sample exactly — the
+// property the sweep journal's byte-identical resume contract rests on
+// (pinned by TestSampleJSONRoundTripExact).
+type sampleJSON struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	Sum  float64 `json:"sum"`
+}
+
+// MarshalJSON serializes the sample's Welford state.
+func (s Sample) MarshalJSON() ([]byte, error) {
+	return json.Marshal(sampleJSON{N: s.n, Mean: s.mean, M2: s.m2, Min: s.min, Max: s.max, Sum: s.sum})
+}
+
+// UnmarshalJSON restores a sample serialized by MarshalJSON, bit for bit.
+func (s *Sample) UnmarshalJSON(b []byte) error {
+	var w sampleJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*s = Sample{n: w.N, mean: w.Mean, m2: w.M2, min: w.Min, max: w.Max, sum: w.Sum}
+	return nil
 }
 
 // Interval is a symmetric confidence interval around a sample mean.

@@ -45,6 +45,7 @@ type BaseCache struct {
 type baseCacheEntry struct {
 	once sync.Once
 	db   *ocb.Database
+	err  error
 }
 
 // NewBaseCache returns a cache generating bases from params and the
@@ -64,7 +65,11 @@ func NewBaseCache(params ocb.Params, seed uint64) (*BaseCache, error) {
 // experiment seeds differ. Safe for concurrent use, with misses on
 // distinct replications generating concurrently; the returned Database is
 // shared and must be treated as read-only.
-func (c *BaseCache) Base(rep int, _ uint64) *ocb.Database {
+//
+// A generation failure is returned as an error (and remembered — every
+// caller of the failed replication sees the same error), feeding the
+// sweep's cell-error path instead of panicking a worker goroutine.
+func (c *BaseCache) Base(rep int, _ uint64) (*ocb.Database, error) {
 	c.mu.Lock()
 	e := c.bases[rep]
 	if e == nil {
@@ -73,15 +78,9 @@ func (c *BaseCache) Base(rep int, _ uint64) *ocb.Database {
 	}
 	c.mu.Unlock()
 	e.once.Do(func() {
-		db, err := ocb.Generate(c.params, rng.SubSeed(c.seed, uint64(rep)))
-		if err != nil {
-			// Params were validated at construction; Generate can only
-			// fail on invalid params.
-			panic(err)
-		}
-		e.db = db
+		e.db, e.err = ocb.Generate(c.params, rng.SubSeed(c.seed, uint64(rep)))
 	})
-	return e.db
+	return e.db, e.err
 }
 
 // Len returns the number of cached bases (for tests and diagnostics).

@@ -20,7 +20,7 @@ func cacheSweepParams() ocb.Params {
 // runCacheSweep runs a miniature memory-style sweep (same generation
 // inputs at every point, per-point experiment seeds) with the given base
 // supplier and returns the per-point results.
-func runCacheSweep(t *testing.T, base func(int, uint64) *ocb.Database, workers int) []core.Result {
+func runCacheSweep(t *testing.T, base func(int, uint64) (*ocb.Database, error), workers int) []core.Result {
 	t.Helper()
 	params := cacheSweepParams()
 	pool := core.NewContextPool()
@@ -58,12 +58,8 @@ func runCacheSweep(t *testing.T, base func(int, uint64) *ocb.Database, workers i
 func TestBaseCacheTransparent(t *testing.T) {
 	const sweepSeed = 4242
 	params := cacheSweepParams()
-	uncached := func(rep int, _ uint64) *ocb.Database {
-		db, err := ocb.Generate(params, rng.SubSeed(sweepSeed, uint64(rep)))
-		if err != nil {
-			t.Fatal(err)
-		}
-		return db
+	uncached := func(rep int, _ uint64) (*ocb.Database, error) {
+		return ocb.Generate(params, rng.SubSeed(sweepSeed, uint64(rep)))
 	}
 	want := runCacheSweep(t, uncached, 1)
 
@@ -93,7 +89,10 @@ func TestBaseCacheGeneratesExactBases(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := cache.Base(3, 123456) // per-experiment seed must be ignored
+	got, err := cache.Base(3, 123456) // per-experiment seed must be ignored
+	if err != nil {
+		t.Fatal(err)
+	}
 	want, err := ocb.Generate(params, rng.SubSeed(99, 3))
 	if err != nil {
 		t.Fatal(err)
@@ -111,7 +110,7 @@ func TestBaseCacheGeneratesExactBases(t *testing.T) {
 			}
 		}
 	}
-	if db := cache.Base(3, 1); db != got {
+	if db, err := cache.Base(3, 1); err != nil || db != got {
 		t.Fatal("second lookup did not return the cached database")
 	}
 	if _, err := NewBaseCache(ocb.Params{}, 1); err == nil {

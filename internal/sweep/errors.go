@@ -1,0 +1,116 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// CellStatus is the lifecycle state of one grid cell in a (possibly
+// interrupted or partially failed) sweep result.
+type CellStatus uint8
+
+const (
+	// CellPending: the cell never ran — the campaign was cancelled or
+	// failed before reaching it. Its PointResult carries coordinates and
+	// labels but no values.
+	CellPending CellStatus = iota
+	// CellCompleted: the cell ran (or was replayed from a journal) and its
+	// metric vector is valid.
+	CellCompleted
+	// CellFailed: the cell errored or panicked and the failure policy
+	// recorded it instead of aborting; PointResult.Err holds the CellError.
+	CellFailed
+)
+
+// String returns the status name.
+func (s CellStatus) String() string {
+	switch s {
+	case CellPending:
+		return "pending"
+	case CellCompleted:
+		return "completed"
+	case CellFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("CellStatus(%d)", uint8(s))
+	}
+}
+
+// CellError is one grid cell's failure, with everything needed to
+// reproduce it in isolation: the cell's position and axis values, the
+// derived replication seed, how many attempts were made, and — when the
+// failure was a panic — the recovered stack. It wraps the underlying
+// error, so errors.Is/As see through it.
+type CellError struct {
+	// Sweep is the spec's name.
+	Sweep string
+	// Index is the flat row-major cell index; Coords the per-axis indices.
+	Index  int
+	Coords []int
+	// Cell renders the position as "axis=label axis=label".
+	Cell string
+	// Seed is the cell's derived replication seed (cellSeed).
+	Seed uint64
+	// Attempts is how many times the cell was tried (1 without retries).
+	Attempts int
+	// Err is the final attempt's underlying error.
+	Err error
+	// Stack is the panic-site goroutine stack when the failure was a
+	// recovered panic, nil otherwise.
+	Stack []byte
+}
+
+// Error summarizes the failure in one line.
+func (e *CellError) Error() string {
+	kind := ""
+	if e.Stack != nil {
+		kind = " (panic)"
+	}
+	if e.Attempts > 1 {
+		return fmt.Sprintf("sweep %q cell %s (seed %d): failed%s after %d attempts: %v",
+			e.Sweep, e.Cell, e.Seed, kind, e.Attempts, e.Err)
+	}
+	return fmt.Sprintf("sweep %q cell %s (seed %d): failed%s: %v",
+		e.Sweep, e.Cell, e.Seed, kind, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *CellError) Unwrap() error { return e.Err }
+
+// newCellError builds a CellError for one exhausted cell, lifting the
+// panic stack out of a recovered core.PanicError (or a sweep-layer
+// cellPanic) so reports can print it.
+func newCellError(sweepName string, index int, coords []int, cell string, seed uint64, attempts int, err error) *CellError {
+	ce := &CellError{
+		Sweep:    sweepName,
+		Index:    index,
+		Coords:   append([]int(nil), coords...),
+		Cell:     cell,
+		Seed:     seed,
+		Attempts: attempts,
+		Err:      err,
+	}
+	var pe *core.PanicError
+	if errors.As(err, &pe) {
+		ce.Stack = pe.Stack
+	}
+	var cp *cellPanic
+	if errors.As(err, &cp) {
+		ce.Stack = cp.stack
+	}
+	return ce
+}
+
+// cellPanic is a panic recovered in the sweep layer itself (a Point.Apply
+// mutator, base-cache construction, …) — the cell scheduler's counterpart
+// of core.PanicError, which covers panics inside replication bodies.
+type cellPanic struct {
+	value interface{}
+	stack []byte
+}
+
+func (p *cellPanic) Error() string {
+	return fmt.Sprintf("sweep: cell setup panicked: %v", p.value)
+}

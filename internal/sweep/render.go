@@ -2,10 +2,29 @@ package sweep
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/report"
 )
+
+// mean returns the point's idx-th metric mean, or NaN for a cell without
+// values (pending or failed) — numeric renderers show such cells as gaps.
+func (pr *PointResult) mean(idx int) float64 {
+	if idx < len(pr.Values) {
+		return pr.Values[idx].Interval.Mean
+	}
+	return math.NaN()
+}
+
+// statusCells fills one row's metric columns for a cell that never
+// completed: the status name in the mean column, empty half-width.
+func (pr *PointResult) statusCells(cells []interface{}, metrics int) []interface{} {
+	for m := 0; m < metrics; m++ {
+		cells = append(cells, "("+pr.Status.String()+")", "")
+	}
+	return cells
+}
 
 // Table renders the sweep as an aligned multi-metric table: one row per
 // cell, one leading column per axis, then a mean and half-width column per
@@ -21,6 +40,9 @@ func (r *Result) Table() *report.Table {
 		cells := make([]interface{}, 0, len(headers))
 		for _, l := range r.cellLabels(pr) {
 			cells = append(cells, l)
+		}
+		if len(pr.Values) == 0 {
+			cells = pr.statusCells(cells, len(r.Metrics))
 		}
 		for _, v := range pr.Values {
 			cells = append(cells, v.Interval.Mean, v.Interval.HalfWidth)
@@ -106,6 +128,9 @@ func (r *Result) FacetTables() []*report.Table {
 			coords[0] = i
 			pr := r.At(coords...)
 			cells := []interface{}{pr.Labels[0]}
+			if len(pr.Values) == 0 {
+				cells = pr.statusCells(cells, len(r.Metrics))
+			}
 			for _, v := range pr.Values {
 				cells = append(cells, v.Interval.Mean, v.Interval.HalfWidth)
 			}
@@ -145,7 +170,7 @@ func (r *Result) grid(m Metric) (rowLabels, colLabels []string, vals [][]float64
 			if j == 0 {
 				rowLabels[i] = pr.Labels[0]
 			}
-			vals[i][j] = pr.Values[sel].Interval.Mean
+			vals[i][j] = pr.mean(sel)
 		}
 	}
 	return rowLabels, colLabels, vals, nil
@@ -198,7 +223,7 @@ func (r *Result) Chart(height int) string {
 	for mi, m := range r.Metrics {
 		values := make([]float64, len(r.Points))
 		for i := range r.Points {
-			values[i] = r.Points[i].Values[mi].Interval.Mean
+			values[i] = r.Points[i].mean(mi)
 		}
 		out += report.ChartSeries(
 			fmt.Sprintf("%s — %s", r.title(), m.Label()),
@@ -226,7 +251,7 @@ func (r *Result) gridChart(height int) string {
 			for i := 0; i < r.Shape[0]; i++ {
 				coords[0] = i
 				pr := r.At(coords...)
-				values[i] = pr.Values[mi].Interval.Mean
+				values[i] = pr.mean(mi)
 				if mi == 0 && f == 0 {
 					xLabels[i] = pr.Labels[0]
 				}

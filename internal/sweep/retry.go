@@ -1,0 +1,102 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// FailurePolicy decides what the cell scheduler does when a cell fails —
+// an error, a panic, or a per-cell deadline. Whatever the policy, a
+// failure never crashes the campaign and never taints other cells: failed
+// attempts discard their pooled replication contexts, so retries and later
+// cells always run on pristine state.
+type FailurePolicy uint8
+
+const (
+	// FailFast aborts the sweep on the first failed cell (after retries,
+	// if configured), returning the partial Result alongside the
+	// CellError. This is the historical behavior and the default.
+	FailFast FailurePolicy = iota
+	// SkipFailed records the failure on the cell (CellFailed status,
+	// Result.Failures) and continues with the remaining cells; the sweep
+	// returns a partial Result and no error.
+	SkipFailed
+	// RetryFailed retries a failed cell up to Options.Retries times with
+	// exponential backoff and fresh pooled contexts; a cell that still
+	// fails is then recorded and skipped like SkipFailed.
+	RetryFailed
+)
+
+// String returns the policy name (the CLI's -on-error values).
+func (p FailurePolicy) String() string {
+	switch p {
+	case FailFast:
+		return "fail"
+	case SkipFailed:
+		return "skip"
+	case RetryFailed:
+		return "retry"
+	default:
+		return fmt.Sprintf("FailurePolicy(%d)", uint8(p))
+	}
+}
+
+// failurePolicyNames lists the legal ParseFailurePolicy inputs.
+const failurePolicyNames = "fail|skip|retry"
+
+// ParseFailurePolicy reads a policy name: "fail" (abort on first failed
+// cell), "skip" (record and continue), or "retry" (retry with backoff,
+// then record and continue).
+func ParseFailurePolicy(name string) (FailurePolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "fail", "fail-fast", "failfast":
+		return FailFast, nil
+	case "skip", "skip-and-continue", "continue":
+		return SkipFailed, nil
+	case "retry":
+		return RetryFailed, nil
+	default:
+		return FailFast, fmt.Errorf("sweep: unknown failure policy %q (%s)", name, failurePolicyNames)
+	}
+}
+
+// DefaultRetries is the retry budget per cell under RetryFailed when
+// Options.Retries is zero.
+const DefaultRetries = 2
+
+// DefaultRetryBackoff is the first-retry delay when Options.RetryBackoff
+// is zero; attempt n waits 2ⁿ⁻¹ × backoff.
+const DefaultRetryBackoff = 100 * time.Millisecond
+
+func (o Options) retries() int {
+	if o.Policy != RetryFailed {
+		return 0
+	}
+	if o.Retries < 1 {
+		return DefaultRetries
+	}
+	return o.Retries
+}
+
+func (o Options) retryBackoff() time.Duration {
+	if o.RetryBackoff <= 0 {
+		return DefaultRetryBackoff
+	}
+	return o.RetryBackoff
+}
+
+// backoffWait sleeps the exponential backoff before retry attempt (1-based)
+// unless ctx is cancelled first, in which case it returns ctx's error.
+func backoffWait(ctx context.Context, base time.Duration, attempt int) error {
+	d := base << (attempt - 1)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

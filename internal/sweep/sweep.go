@@ -26,9 +26,14 @@
 package sweep
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"runtime/debug"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/ocb"
@@ -179,6 +184,36 @@ type Options struct {
 	CalendarHint int
 	// Progress, when non-nil, receives one line per completed point.
 	Progress func(string)
+
+	// --- fault tolerance (see also FailurePolicy) ---
+
+	// Policy decides what happens when a cell fails — errors, panics, or
+	// hits its CellTimeout. The default FailFast aborts the sweep (the
+	// historical behavior); SkipFailed and RetryFailed record the failure
+	// on the cell and keep the campaign going.
+	Policy FailurePolicy
+	// Retries is the per-cell retry budget under RetryFailed (default
+	// DefaultRetries). Each retry waits exponential backoff and runs on
+	// fresh pooled contexts — failed attempts always discard theirs.
+	Retries int
+	// RetryBackoff is the first retry's delay (default
+	// DefaultRetryBackoff); attempt n waits 2ⁿ⁻¹ × RetryBackoff.
+	RetryBackoff time.Duration
+	// CellTimeout, when positive, bounds each cell attempt's wall-clock
+	// time: the cell's replications are cancelled cooperatively (at
+	// replication boundaries and the kernel's coarse stop check) and the
+	// cell fails with context.DeadlineExceeded, subject to Policy.
+	CellTimeout time.Duration
+	// Journal, when non-nil, receives every completed cell as a JSONL
+	// checkpoint record (see Sweep.StartJournal). Cells replayed from
+	// Resume are already in the journal and are not rewritten.
+	Journal *Journal
+	// Resume, when non-nil, replays the journalled cells instead of
+	// rerunning them; only the remainder executes. The journal must have
+	// been written by the same spec and result-affecting options
+	// (verified by fingerprint — see Sweep.ResumeJournal), and the merged
+	// result is byte-identical to an uninterrupted run.
+	Resume *JournalData
 }
 
 func (o Options) reps() int {
@@ -220,11 +255,19 @@ type PointResult struct {
 	// order.
 	Labels []string
 	// Values holds one interval per selected metric, in metric order.
+	// Empty for cells that never completed (pending or failed).
 	Values []Value
 	// Result is the standard-protocol aggregate (nil under DSTCProtocol).
 	Result *core.Result
 	// DSTC is the DSTC-protocol aggregate (nil under Standard).
 	DSTC *core.DSTCResult
+	// Status is the cell's lifecycle state: CellCompleted for cells with
+	// valid values (including journal replays), CellFailed for cells a
+	// skip/retry policy gave up on, CellPending for cells an interrupted
+	// campaign never reached.
+	Status CellStatus
+	// Err carries the failure of a CellFailed cell.
+	Err *CellError
 }
 
 // Get returns the interval collected for m, if m was selected.
@@ -252,10 +295,37 @@ type Result struct {
 	Shape   []int
 	Metrics []Metric
 	Points  []PointResult
+	// Failures lists every cell a skip/retry policy recorded instead of
+	// aborting on, in execution order. Empty for fully successful sweeps
+	// (and always under FailFast, which returns the CellError instead).
+	Failures []*CellError
 }
 
 // Dims returns the number of axes.
 func (r *Result) Dims() int { return len(r.Shape) }
+
+// Completed counts cells with valid values (run or replayed).
+func (r *Result) Completed() int { return r.countStatus(CellCompleted) }
+
+// Failed counts cells recorded as failed by a skip/retry policy.
+func (r *Result) Failed() int { return r.countStatus(CellFailed) }
+
+// Pending counts cells an interrupted campaign never reached.
+func (r *Result) Pending() int { return r.countStatus(CellPending) }
+
+func (r *Result) countStatus(st CellStatus) int {
+	n := 0
+	for i := range r.Points {
+		if r.Points[i].Status == st {
+			n++
+		}
+	}
+	return n
+}
+
+// Partial reports whether any cell is missing values (failed or pending) —
+// renderers annotate such results instead of presenting them as complete.
+func (r *Result) Partial() bool { return r.Completed() < len(r.Points) }
 
 // decompose writes flat cell index idx as row-major coordinates over shape
 // (last axis fastest) — the single definition of the grid's cell order;
@@ -417,7 +487,7 @@ type gridBases struct {
 	caches     map[string]*BaseCache
 }
 
-func (g *gridBases) forCell(coords []int) (func(rep int, seed uint64) *ocb.Database, error) {
+func (g *gridBases) forCell(coords []int) (func(rep int, seed uint64) (*ocb.Database, error), error) {
 	var key strings.Builder
 	for k := range g.axes {
 		if g.generative[k] {
@@ -454,6 +524,20 @@ func (g *gridBases) forCell(coords []int) (func(rep int, seed uint64) *ocb.Datab
 // free; results always report in row-major axis order and are
 // bit-identical for every worker count.
 func (s *Sweep) Run(o Options) (*Result, error) {
+	return s.RunContext(context.Background(), o)
+}
+
+// RunContext is Run with cooperative cancellation and the fault-tolerance
+// options: cells check ctx between attempts and propagate it into every
+// replication (cancellation lands at replication boundaries and the
+// kernel's coarse stop check — never on the per-event hot path). On
+// cancellation the partial Result is returned alongside ctx's error, with
+// completed cells intact and unreached cells CellPending, so callers can
+// render what finished. Failed cells follow Options.Policy; completed
+// cells stream to Options.Journal; Options.Resume replays a previous
+// run's journal and executes only the remainder, byte-identical to an
+// uninterrupted run.
+func (s *Sweep) RunContext(ctx context.Context, o Options) (*Result, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -499,86 +583,271 @@ func (s *Sweep) Run(o Options) (*Result, error) {
 		Metrics:   metrics,
 		Points:    make([]PointResult, cells),
 	}
-	conf := o.confidence()
+	// Pre-fill every cell's identity (coordinates, labels, x) so an
+	// interrupted campaign still renders its pending cells by position.
 	coords := make([]int, len(axes))
+	for i := 0; i < cells; i++ {
+		decompose(i, shape, coords)
+		labels := make([]string, len(axes))
+		for k, ax := range axes {
+			labels[k] = ax.Points[coords[k]].label()
+		}
+		res.Points[i] = PointResult{
+			X:      axes[0].Points[coords[0]].X,
+			Label:  strings.Join(labels, "/"),
+			Coords: append([]int(nil), coords...),
+			Labels: labels,
+			Status: CellPending,
+		}
+	}
+
+	if o.Resume != nil {
+		if got, want := o.Resume.Header.Fingerprint, s.fingerprint(o, axes, metrics); got != want {
+			return nil, fmt.Errorf("sweep %q: resume journal fingerprint %.12s… does not match this spec/options (%.12s…)",
+				s.Name, got, want)
+		}
+	}
+
+	conf := o.confidence()
+	attempts := 1 + o.retries()
 	for step := 0; step < cells; step++ {
 		i := step
 		if s.RunDescending {
 			i = cells - 1 - step
 		}
 		decompose(i, shape, coords)
-		cfg, params := s.Config, s.Params
-		labels := make([]string, len(axes))
-		for k, ax := range axes {
-			pt := ax.Points[coords[k]]
-			labels[k] = pt.label()
-			if pt.Apply != nil {
-				pt.Apply(&cfg, &params)
-			}
-		}
-		if o.Calendar != sim.AutoCalendar {
-			cfg.Calendar = o.Calendar
-		}
-		if o.CalendarHint > 0 {
-			cfg.CalendarHint = o.CalendarHint
-		}
 		seed := cellSeed(o.Seed, axes, coords)
-		pr := PointResult{
-			X:      axes[0].Points[coords[0]].X,
-			Label:  strings.Join(labels, "/"),
-			Coords: append([]int(nil), coords...),
-			Labels: labels,
-		}
-		var base func(rep int, seed uint64) *ocb.Database
-		if bases != nil {
-			var err error
-			if base, err = bases.forCell(coords); err != nil {
-				return nil, fmt.Errorf("sweep %q: %w", s.Name, err)
+		desc := cellDesc(names, res.Points[i].Labels)
+
+		if o.Resume != nil {
+			if replay, ok := o.Resume.Cells[i]; ok {
+				if jseed := o.Resume.Seeds[i]; jseed != seed {
+					return nil, fmt.Errorf("sweep %q: journal cell %s carries seed %d, spec derives %d (journal does not match)",
+						s.Name, desc, jseed, seed)
+				}
+				pr := *replay
+				// Trust the spec (not the journal) for cell identity.
+				pr.X, pr.Label = res.Points[i].X, res.Points[i].Label
+				pr.Coords, pr.Labels = res.Points[i].Coords, res.Points[i].Labels
+				res.Points[i] = pr
+				o.progress("%s %s: %s (replayed)", s.Name, desc, pr.Values[0].Interval)
+				continue
 			}
 		}
-		switch s.Protocol {
-		case DSTCProtocol:
-			e := core.DSTCExperiment{
-				Config:       cfg,
-				Params:       params,
-				Transactions: s.transactions(),
-				Depth:        s.depth(),
-				Seed:         seed,
-				Replications: o.reps(),
-				Workers:      o.Workers,
-				Pool:         pool,
+
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("sweep %q interrupted at %s (%d/%d cells done): %w",
+				s.Name, desc, res.Completed(), cells, err)
+		}
+
+		var pr PointResult
+		var cellErr error
+		for attempt := 1; attempt <= attempts; attempt++ {
+			if attempt > 1 {
+				o.progress("%s %s: attempt %d/%d after: %v", s.Name, desc, attempt, attempts, cellErr)
+				if err := backoffWait(ctx, o.retryBackoff(), attempt-1); err != nil {
+					return res, fmt.Errorf("sweep %q interrupted at %s (%d/%d cells done): %w",
+						s.Name, desc, res.Completed(), cells, err)
+				}
 			}
-			dstc, err := e.Run()
-			if err != nil {
-				return nil, fmt.Errorf("%s at %s: %w", s.Name, cellDesc(names, labels), err)
+			pr, cellErr = s.runCellOnce(ctx, o, axes, coords, seed, metrics, conf, pool, bases)
+			if cellErr == nil {
+				break
 			}
-			pr.DSTC = dstc
-			for _, m := range metrics {
-				pr.Values = append(pr.Values, Value{Metric: m, Interval: m.interval(nil, dstc, conf)})
-			}
-		default:
-			e := core.Experiment{
-				Config:       cfg,
-				Params:       params,
-				Seed:         seed,
-				Replications: o.reps(),
-				Workers:      o.Workers,
-				Pool:         pool,
-				Base:         base,
-			}
-			r, err := e.Run()
-			if err != nil {
-				return nil, fmt.Errorf("%s at %s: %w", s.Name, cellDesc(names, labels), err)
-			}
-			pr.Result = r
-			for _, m := range metrics {
-				pr.Values = append(pr.Values, Value{Metric: m, Interval: m.interval(r, nil, conf)})
+			if err := ctx.Err(); err != nil {
+				// The campaign (not the cell) was cancelled mid-attempt:
+				// report interruption, not a cell failure.
+				return res, fmt.Errorf("sweep %q interrupted at %s (%d/%d cells done): %w",
+					s.Name, desc, res.Completed(), cells, err)
 			}
 		}
+		if cellErr != nil {
+			ce := newCellError(s.Name, i, coords, desc, seed, attempts, cellErr)
+			if o.Policy == FailFast {
+				return res, ce
+			}
+			res.Points[i].Status = CellFailed
+			res.Points[i].Err = ce
+			res.Failures = append(res.Failures, ce)
+			o.progress("%s %s: FAILED (%v)", s.Name, desc, cellErr)
+			continue
+		}
+		// Keep the pre-filled identity; adopt the computed payload.
+		pr.X, pr.Label = res.Points[i].X, res.Points[i].Label
+		pr.Coords, pr.Labels = res.Points[i].Coords, res.Points[i].Labels
 		res.Points[i] = pr
-		o.progress("%s %s: %s", s.Name, cellDesc(names, labels), pr.Values[0].Interval)
+		if o.Journal != nil {
+			if err := o.Journal.RecordCell(i, seed, &res.Points[i]); err != nil {
+				return res, fmt.Errorf("sweep %q at %s: %w", s.Name, desc, err)
+			}
+		}
+		o.progress("%s %s: %s", s.Name, desc, pr.Values[0].Interval)
 	}
 	return res, nil
+}
+
+// runCellOnce executes one attempt of one grid cell — the point mutators,
+// the calendar overrides, the base lookup, and the replicated experiment —
+// under a panic guard: a panic anywhere in cell setup surfaces as a
+// *cellPanic error (replication-body panics already surface as
+// *core.PanicError from the engine), so a poisoned cell can be retried or
+// skipped without crashing the campaign.
+func (s *Sweep) runCellOnce(ctx context.Context, o Options, axes []Axis, coords []int,
+	seed uint64, metrics []Metric, conf float64, pool *core.ContextPool, bases *gridBases) (pr PointResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &cellPanic{value: r, stack: debug.Stack()}
+		}
+	}()
+	if o.CellTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.CellTimeout)
+		defer cancel()
+	}
+	cfg, params := s.Config, s.Params
+	for k, ax := range axes {
+		if apply := ax.Points[coords[k]].Apply; apply != nil {
+			apply(&cfg, &params)
+		}
+	}
+	if o.Calendar != sim.AutoCalendar {
+		cfg.Calendar = o.Calendar
+	}
+	if o.CalendarHint > 0 {
+		cfg.CalendarHint = o.CalendarHint
+	}
+	var base func(rep int, seed uint64) (*ocb.Database, error)
+	if bases != nil {
+		if base, err = bases.forCell(coords); err != nil {
+			return PointResult{}, err
+		}
+	}
+	switch s.Protocol {
+	case DSTCProtocol:
+		e := core.DSTCExperiment{
+			Config:       cfg,
+			Params:       params,
+			Transactions: s.transactions(),
+			Depth:        s.depth(),
+			Seed:         seed,
+			Replications: o.reps(),
+			Workers:      o.Workers,
+			Pool:         pool,
+		}
+		dstc, err := e.RunContext(ctx)
+		if err != nil {
+			return PointResult{}, err
+		}
+		pr.DSTC = dstc
+		for _, m := range metrics {
+			pr.Values = append(pr.Values, Value{Metric: m, Interval: m.interval(nil, dstc, conf)})
+		}
+	default:
+		e := core.Experiment{
+			Config:       cfg,
+			Params:       params,
+			Seed:         seed,
+			Replications: o.reps(),
+			Workers:      o.Workers,
+			Pool:         pool,
+			Base:         base,
+		}
+		r, err := e.RunContext(ctx)
+		if err != nil {
+			return PointResult{}, err
+		}
+		pr.Result = r
+		for _, m := range metrics {
+			pr.Values = append(pr.Values, Value{Metric: m, Interval: m.interval(r, nil, conf)})
+		}
+	}
+	pr.Status = CellCompleted
+	return pr, nil
+}
+
+// fingerprint hashes everything that determines the sweep's numeric
+// results — the spec identity (name, protocol, axes, points with their
+// seed deltas, base Config/Params) and the result-affecting options
+// (replications, seed, confidence, ShareBases). Workers, Calendar, and the
+// fault-tolerance knobs are deliberately excluded: results are
+// bit-identical across them, so a journal written at -workers 4 on the
+// heap calendar resumes cleanly at -workers 1 on the wheel. Point.Apply
+// closures cannot be hashed; axes built from the parameter registry are
+// identified by axis name + point labels, which pin the registry mutation.
+func (s *Sweep) fingerprint(o Options, axes []Axis, metrics []Metric) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s v%d\n", journalKind, journalVersion)
+	fmt.Fprintf(h, "name=%s proto=%d tx=%d depth=%d\n", s.Name, s.Protocol, s.transactions(), s.depth())
+	fmt.Fprintf(h, "cfg=%+v\n", s.Config)
+	fmt.Fprintf(h, "params=%+v\n", s.Params)
+	fmt.Fprintf(h, "reps=%d seed=%d conf=%g share=%t\n", o.reps(), o.Seed, o.confidence(), o.ShareBases)
+	for _, ax := range axes {
+		fmt.Fprintf(h, "axis=%s gen=%t\n", ax.Name, ax.Generative)
+		for _, pt := range ax.Points {
+			fmt.Fprintf(h, " point x=%g label=%s delta=%d\n", pt.X, pt.label(), pt.SeedDelta)
+		}
+	}
+	for _, m := range metrics {
+		fmt.Fprintf(h, "metric=%s\n", m)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// StartJournal creates a checkpoint journal for running this sweep with
+// these options and writes its header; pass the returned Journal in
+// Options.Journal. The caller closes it when the run ends.
+func (s *Sweep) StartJournal(path string, o Options) (*Journal, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	axes := s.axes()
+	metrics := s.metrics()
+	names := make([]string, len(axes))
+	shape := make([]int, len(axes))
+	cells := 1
+	for i, ax := range axes {
+		names[i] = ax.Name
+		shape[i] = len(ax.Points)
+		cells *= shape[i]
+	}
+	metricNames := make([]string, len(metrics))
+	for i, m := range metrics {
+		metricNames[i] = string(m)
+	}
+	return CreateJournal(path, JournalHeader{
+		Sweep:        s.Name,
+		Fingerprint:  s.fingerprint(o, axes, metrics),
+		Axes:         names,
+		Shape:        shape,
+		Metrics:      metricNames,
+		Seed:         o.Seed,
+		Replications: o.reps(),
+		Cells:        cells,
+	})
+}
+
+// ResumeJournal reads an interrupted run's journal, verifies it was
+// written by this sweep with result-equivalent options (fingerprint
+// match), and reopens it for appending: set the returned values as
+// Options.Journal and Options.Resume and call RunContext to execute the
+// remainder. The merged result is byte-identical to an uninterrupted run.
+func (s *Sweep) ResumeJournal(path string, o Options) (*Journal, *JournalData, error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+	d, err := ReadJournal(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if got, want := d.Header.Fingerprint, s.fingerprint(o, s.axes(), s.metrics()); got != want {
+		return nil, nil, fmt.Errorf("sweep %q: journal %s was written by a different spec or options (fingerprint %.12s…, this run %.12s…)",
+			s.Name, path, got, want)
+	}
+	j, err := AppendJournal(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return j, d, nil
 }
 
 // cellDesc renders a cell position as "axis=label axis=label" (progress

@@ -31,6 +31,8 @@
 package voodb
 
 import (
+	"context"
+
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/ocb"
@@ -350,6 +352,67 @@ type SweepParam = sweep.Param
 // points (and, with SweepOptions.ShareBases on a non-generative axis,
 // one object-base cache).
 func RunSweep(s Sweep, o SweepOptions) (*SweepResult, error) { return s.Run(o) }
+
+// RunSweepContext is RunSweep with cooperative cancellation and the
+// fault-tolerance options (SweepOptions.Policy, CellTimeout, Journal,
+// Resume): cancellation lands at replication boundaries — never on the
+// simulation hot path — and the partial result is returned alongside
+// ctx's error, with completed cells intact and unreached cells pending.
+func RunSweepContext(ctx context.Context, s Sweep, o SweepOptions) (*SweepResult, error) {
+	return s.RunContext(ctx, o)
+}
+
+// SweepFailurePolicy decides what a sweep does with a failed cell (error,
+// panic, or per-cell deadline): abort, record and skip, or retry with
+// exponential backoff on fresh pooled state.
+type SweepFailurePolicy = sweep.FailurePolicy
+
+// Failure policies (SweepOptions.Policy).
+const (
+	FailFast    = sweep.FailFast
+	SkipFailed  = sweep.SkipFailed
+	RetryFailed = sweep.RetryFailed
+)
+
+// ParseFailurePolicy reads a policy name: "fail", "skip" or "retry".
+func ParseFailurePolicy(name string) (SweepFailurePolicy, error) {
+	return sweep.ParseFailurePolicy(name)
+}
+
+// CellError is one grid cell's failure: position, axis values, derived
+// seed, attempt count, and the recovered panic stack when applicable. It
+// wraps the underlying error for errors.Is/As.
+type CellError = sweep.CellError
+
+// CellStatus is a sweep cell's lifecycle state in a partial result.
+type CellStatus = sweep.CellStatus
+
+// Cell states (SweepPoint.Status).
+const (
+	CellPending   = sweep.CellPending
+	CellCompleted = sweep.CellCompleted
+	CellFailed    = sweep.CellFailed
+)
+
+// ReplicationPanic is a panic recovered inside one replication body,
+// converted to an error by the engine (the replication index, the panic
+// value, and the goroutine stack at the panic site).
+type ReplicationPanic = core.PanicError
+
+// SweepJournal streams completed sweep cells to a JSONL checkpoint file;
+// create one with Sweep.StartJournal and pass it in SweepOptions.Journal.
+type SweepJournal = sweep.Journal
+
+// SweepJournalData is a parsed checkpoint journal; obtain one with
+// Sweep.ResumeJournal (which also verifies it matches the spec) and pass
+// it in SweepOptions.Resume to replay its cells and run only the
+// remainder — byte-identical to an uninterrupted run.
+type SweepJournalData = sweep.JournalData
+
+// ReadSweepJournal parses a checkpoint journal without validating it
+// against a spec (inspection/tooling; resume paths should use
+// Sweep.ResumeJournal instead).
+func ReadSweepJournal(path string) (*SweepJournalData, error) { return sweep.ReadJournal(path) }
 
 // SweepMetrics lists every metric the protocol collects, in display order.
 func SweepMetrics(p SweepProtocol) []Metric { return sweep.Metrics(p) }
