@@ -66,6 +66,8 @@ func main() {
 		"event-calendar strategy: auto, heap or wheel (bit-identical results; speed only)")
 	calhint := flag.Int("calhint", 0,
 		"event-calendar pre-size hint: expected pending-event peak (0 = derive from MPL/users)")
+	shardWorkers := flag.Int("shard-workers", 0,
+		"shard each replication's event calendar across this many kernel workers (bit-identical results at every value; composes with -workers; 0/1 = unsharded)")
 
 	journalPath := flag.String("journal", "",
 		"write a resumable JSONL checkpoint of completed sweep cells to this file (-sweep mode)")
@@ -108,6 +110,9 @@ func main() {
 	}
 	if *calhint < 0 {
 		fatal(fmt.Errorf("-calhint %d: the calendar pre-size hint is an expected event count and must be ≥ 0", *calhint))
+	}
+	if *shardWorkers < 0 || *shardWorkers > voodb.MaxShardWorkers {
+		fatal(fmt.Errorf("-shard-workers %d: use 0 or 1 for the unsharded kernel, or up to %d shards", *shardWorkers, voodb.MaxShardWorkers))
 	}
 	if *no < 0 || *nc < 0 || *hotn < 0 {
 		fatal(fmt.Errorf("-no/-nc/-hotn must be ≥ 0 (0 keeps the Table 5 default)"))
@@ -152,7 +157,7 @@ func main() {
 			axes: sweeps, metrics: *metrics, system: *system,
 			no: *no, nc: *nc, hotn: *hotn,
 			reps: *reps, seed: *seed, workers: *workers, shareBases: *shareBases,
-			calendar: calKind, calhint: *calhint,
+			calendar: calKind, calhint: *calhint, shardWorkers: *shardWorkers,
 			journal: *journalPath, resume: *resumePath,
 			policy: policy, retries: *retries, cellTimeout: *cellTimeout,
 			csv: *csv, chart: *chart, progress: progress,
@@ -162,8 +167,9 @@ func main() {
 
 	opts := experiments.Options{Replications: *reps, Seed: *seed, Workers: *workers,
 		ShareBases: *shareBases, Calendar: calKind, CalendarHint: *calhint,
-		Progress: progress,
-		Policy:   policy, Retries: *retries, CellTimeout: *cellTimeout}
+		ShardWorkers: *shardWorkers,
+		Progress:     progress,
+		Policy:       policy, Retries: *retries, CellTimeout: *cellTimeout}
 	ids := experiments.Names()
 	if *run != "all" {
 		ids = strings.Split(*run, ",")
@@ -214,6 +220,7 @@ type userSweepFlags struct {
 	shareBases      bool
 	calendar        voodb.CalendarKind
 	calhint         int
+	shardWorkers    int
 	journal, resume string
 	policy          voodb.SweepFailurePolicy
 	retries         int
@@ -281,6 +288,7 @@ func runUserSweep(ctx context.Context, f userSweepFlags) {
 		ShareBases:   f.shareBases,
 		Calendar:     f.calendar,
 		CalendarHint: f.calhint,
+		ShardWorkers: f.shardWorkers,
 		Progress:     f.progress,
 		Policy:       f.policy,
 		Retries:      f.retries,

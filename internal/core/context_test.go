@@ -21,6 +21,7 @@ func foldRows(rows []repRow, conf float64) *Result {
 		res.NetBytes.Add(rows[i].netBytes)
 		res.LockWaits.Add(rows[i].lockWaits)
 		res.ReorgIOs.Add(rows[i].reorgIOs)
+		res.ShardImbalance.Add(rows[i].shardImb)
 		if rows[i].calPeak > res.CalendarPeak {
 			res.CalendarPeak = rows[i].calPeak
 		}

@@ -132,6 +132,13 @@ type Result struct {
 	// replication reached — the depth that decides whether the timing
 	// wheel pays off for this configuration (see PERFORMANCE.md).
 	CalendarPeak int
+
+	// ShardImbalance samples the sharded kernel's load-balance ratio
+	// (max/mean events executed per shard, 1.0 = perfect spread) across
+	// replications — exactly 1 when ShardWorkers ≤ 1. Like CalendarPeak it
+	// describes the execution schedule, not the simulated results, so it
+	// never enters golden fingerprints.
+	ShardImbalance stats.Sample
 }
 
 // IOsCI returns the confidence interval of the mean I/O count.
@@ -201,6 +208,7 @@ type repRow struct {
 	hitRatio, respMs, tp float64
 	netMsgs, netBytes    float64
 	lockWaits, reorgIOs  float64
+	shardImb             float64
 	calPeak              int
 }
 
@@ -268,6 +276,7 @@ func (e Experiment) runRep(ctx context.Context, c *repContext, rep int) (repRow,
 		netBytes:  float64(st.NetBytes),
 		lockWaits: float64(st.LockWaits),
 		reorgIOs:  float64(st.ReorgIOs),
+		shardImb:  st.ShardImbalance,
 		calPeak:   run.CalendarPeak(),
 	}, nil
 }
@@ -308,6 +317,7 @@ func (e Experiment) RunContext(ctx context.Context) (*Result, error) {
 		res.NetBytes.Add(rows[i].netBytes)
 		res.LockWaits.Add(rows[i].lockWaits)
 		res.ReorgIOs.Add(rows[i].reorgIOs)
+		res.ShardImbalance.Add(rows[i].shardImb)
 		if rows[i].calPeak > res.CalendarPeak {
 			res.CalendarPeak = rows[i].calPeak
 		}

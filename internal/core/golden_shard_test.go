@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ocb"
+	"repro/internal/sim"
+)
+
+// The sharded golden suite pins the sharded kernel's contract: for every
+// ShardWorkers count the model produces hex-exact identical results to the
+// unsharded kernel — same batches, same aggregates, same failure
+// injections — across all four system classes, both calendars, and both
+// replication-level worker counts. The suite runs under CI's race
+// detector, which also certifies the phase protocol race-clean.
+
+var goldenShardCounts = []int{1, 2, 4}
+
+// shardBatchFingerprint runs one hot batch and fingerprints it.
+func shardBatchFingerprint(t *testing.T, cfg Config, seed uint64) string {
+	t.Helper()
+	db, err := ocb.Generate(goldenParams(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := NewRun(cfg, db, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ocb.GenerateWorkload(db, seed+1)
+	return fingerprintBatch(run.ExecuteBatch(w.Hot))
+}
+
+// TestShardedGoldenAllClasses checks batch-level hex-exact equivalence of
+// sharded and unsharded execution for every SystemClass on both calendars.
+func TestShardedGoldenAllClasses(t *testing.T) {
+	classes := []SystemClass{Centralized, ObjectServer, PageServer, DBServer}
+	calendars := []sim.CalendarKind{sim.HeapCalendar, sim.WheelCalendar}
+	for _, class := range classes {
+		for _, cal := range calendars {
+			cfg := goldenO2Config()
+			cfg.System = class
+			cfg.Calendar = cal
+			want := shardBatchFingerprint(t, cfg, 42)
+			for _, sw := range goldenShardCounts {
+				sharded := cfg
+				sharded.ShardWorkers = sw
+				if got := shardBatchFingerprint(t, sharded, 42); got != want {
+					t.Errorf("class=%v calendar=%v shards=%d diverged:\n got  %s\n want %s",
+						class, cal, sw, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedGoldenAggregate checks the replicated aggregate stays
+// hex-exact across ShardWorkers × Workers — intra-replication sharding
+// composed with replication-level parallelism.
+func TestShardedGoldenAggregate(t *testing.T) {
+	base := Experiment{
+		Config:       goldenO2Config(),
+		Params:       goldenParams(),
+		Seed:         1999,
+		Replications: 3,
+		Workers:      1,
+	}
+	ref, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprintResult(ref)
+	for _, workers := range []int{1, 4} {
+		for _, sw := range goldenShardCounts {
+			e := base
+			e.Workers = workers
+			e.Config.ShardWorkers = sw
+			res, err := e.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := fingerprintResult(res); got != want {
+				t.Errorf("Workers=%d ShardWorkers=%d diverged:\n got  %s\n want %s",
+					workers, sw, got, want)
+			}
+			if sw > 1 && res.ShardImbalance.Mean() < 1 {
+				t.Errorf("Workers=%d ShardWorkers=%d: imbalance %v < 1",
+					workers, sw, res.ShardImbalance.Mean())
+			}
+		}
+	}
+}
+
+// TestShardedGoldenFailures checks the failure-injection path — the one
+// model path that arms and cancels kernel timers mid-run — stays hex-exact
+// under sharding, including the contention/abort machinery.
+func TestShardedGoldenFailures(t *testing.T) {
+	cfg := goldenO2Config()
+	cfg.System = Centralized
+	cfg.Users = 3
+	cfg.MPL = 2
+	cfg.ThinkTimeMs = 2
+	cfg.Failures = FailureParams{Enabled: true, MTBFMs: 5000, MeanRepairMs: 200}
+	p := goldenParams()
+	p.WriteProb = 0.02
+	p.HotN = 100
+
+	fp := func(sw int) string {
+		c := cfg
+		c.ShardWorkers = sw
+		db, err := ocb.Generate(p, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := NewRun(c, db, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := ocb.GenerateWorkload(db, 8)
+		got := fingerprintBatch(run.ExecuteBatch(w.Hot))
+		if run.FailureStats().Failures == 0 {
+			t.Fatal("failure scenario injected nothing; raise MTBF pressure")
+		}
+		return got
+	}
+	want := fp(0)
+	for _, sw := range goldenShardCounts {
+		if got := fp(sw); got != want {
+			t.Errorf("failure batch shards=%d diverged:\n got  %s\n want %s", sw, got, want)
+		}
+	}
+}

@@ -72,7 +72,11 @@ func NewRun(cfg Config, db *ocb.Database, seed uint64) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := sim.New(sim.WithCalendar(cfg.Calendar))
+	s := sim.New(
+		sim.WithCalendar(cfg.Calendar),
+		sim.WithShardWorkers(cfg.ShardWorkers),
+		sim.WithLookahead(cfg.shardLookaheadMs()),
+	)
 	s.Grow(cfg.calendarHint())
 	r := &Run{
 		cfg:       cfg,
@@ -271,6 +275,13 @@ type BatchStats struct {
 	NetBytes    uint64
 	LockWaits   uint64
 	ReorgIOs    uint64
+
+	// ShardImbalance is the sharded kernel's load-balance ratio (max/mean
+	// events executed per shard) accumulated over the replication so far —
+	// exactly 1 on the unsharded kernel and 1.0 is a perfect spread. It
+	// describes the execution schedule, never the simulated results, so it
+	// is excluded from golden fingerprints.
+	ShardImbalance float64
 }
 
 // ExecuteBatch runs the given transactions to completion: cfg.Users user
@@ -361,5 +372,6 @@ func (r *Run) ExecuteBatch(txs []ocb.Transaction) BatchStats {
 	st.DiskUtilization = r.diskRes.Utilization()
 	st.CPUUtilization = r.serverCPU.Utilization()
 	st.MPLOccupancy = r.admission.Utilization()
+	st.ShardImbalance = r.sim.ShardImbalance()
 	return st
 }

@@ -49,7 +49,12 @@ type Figure struct {
 	// point and replication of the figure — the scheduling load the kernel's
 	// calendar actually carried (see sim.Simulation.PeakPending).
 	CalendarPeak int
-	Warnings     []string
+	// ShardImbalance is the worst (largest) mean shard-load ratio any point
+	// reported (max/mean events executed per shard; exactly 1 unsharded —
+	// see sim.Simulation.ShardImbalance). Like CalendarPeak it describes
+	// the execution schedule, never the simulated results.
+	ShardImbalance float64
+	Warnings       []string
 }
 
 // SimValues returns our simulated means in x order.
@@ -110,6 +115,11 @@ type Options struct {
 	// CalendarHint, when positive, pre-sizes every point's event calendar
 	// to the given expected peak depth.
 	CalendarHint int
+	// ShardWorkers, when positive, shards every replication's event
+	// calendar across that many kernel workers (see
+	// core.Config.ShardWorkers). Results are bit-identical at every value
+	// (pinned by the sharded golden tests); it composes with Workers.
+	ShardWorkers int
 	// Progress, when non-nil, receives one line per completed point.
 	Progress func(string)
 	// Policy, Retries, RetryBackoff and CellTimeout configure the sweep
@@ -143,6 +153,7 @@ func (o Options) sweepOptions() sweep.Options {
 		ShareBases:   o.ShareBases,
 		Calendar:     o.Calendar,
 		CalendarHint: o.CalendarHint,
+		ShardWorkers: o.ShardWorkers,
 		Progress:     o.Progress,
 		Policy:       o.Policy,
 		Retries:      o.Retries,
@@ -183,6 +194,9 @@ func runFigure(ctx context.Context, id string, ref paper.Series, o Options) (*Fi
 		f.Points[i] = Point{X: int(pr.X), IOs: ios, HitPct: hit.Mean}
 		if pr.Result != nil && pr.Result.CalendarPeak > f.CalendarPeak {
 			f.CalendarPeak = pr.Result.CalendarPeak
+		}
+		if pr.Result != nil && pr.Result.ShardImbalance.Mean() > f.ShardImbalance {
+			f.ShardImbalance = pr.Result.ShardImbalance.Mean()
 		}
 	}
 	return f, err

@@ -187,20 +187,37 @@ type heldLock struct {
 	mode Mode
 }
 
-// txRec is a transaction's dense lock state: the distinct items it holds
-// (append order; sorted at release) and the items it ever queued on, so
-// End can purge abandoned requests without sweeping the whole table.
-// Records are recycled through the Manager's pool.
+// txRec is a transaction's dense lock state: the owning TxID (validating
+// its transaction-ring slot), the distinct items it holds (append order;
+// sorted at release) and the items it ever queued on, so End can purge
+// abandoned requests without sweeping the whole table. Records are
+// recycled through the Manager's pool.
 type txRec struct {
+	owner TxID // 0 when the record is pooled (TxIDs start at 1)
 	locks []heldLock
 	waits []Item
 }
 
-// Manager is the lock table.
+// denseItems bounds the directly indexed item table. OCB object IDs are
+// small dense non-negative integers, so in practice every item lands in
+// the dense slice; anything outside [0, denseItems) falls back to a map.
+const denseItems = 1 << 22
+
+// ringInit is the transaction ring's initial size; it doubles whenever the
+// window of concurrently active TxIDs no longer fits collision-free.
+const ringInit = 64
+
+// Manager is the lock table. Both index structures are map-free on the hot
+// path: per-item state lives in a dense slice indexed by Item, and active
+// transactions live in a power-of-two ring indexed by the TxID's low bits
+// (validated against txRec.owner). Maps churn internal buckets under the
+// steady begin/lock/commit cycle — a residual byte per operation that
+// plain slices do not have.
 type Manager struct {
 	nextTx TxID
-	table  map[Item]*entry
-	txns   map[TxID]*txRec
+	dense  []*entry        // per-item state; index = Item (never shrinks)
+	sparse map[Item]*entry // fallback for items outside the dense range
+	ring   []*txRec        // active transactions; index = TxID & (len-1)
 
 	entryPool []*entry
 	recPool   []*txRec
@@ -212,28 +229,145 @@ type Manager struct {
 
 // NewManager returns an empty lock table.
 func NewManager() *Manager {
-	return &Manager{
-		table: make(map[Item]*entry),
-		txns:  make(map[TxID]*txRec),
+	return &Manager{}
+}
+
+// lookupItem returns item's entry, or nil when the item is idle.
+func (m *Manager) lookupItem(item Item) *entry {
+	if uint64(item) < uint64(len(m.dense)) {
+		return m.dense[item]
 	}
+	return m.sparse[item]
+}
+
+// storeItem files e under item, growing the dense slice on first contact
+// with a new high-water item (amortized; free once the table has seen the
+// database's OID range).
+func (m *Manager) storeItem(item Item, e *entry) {
+	if item >= 0 && item < denseItems {
+		if n := int(item) + 1; n > len(m.dense) {
+			if n <= cap(m.dense) {
+				m.dense = m.dense[:n]
+			} else {
+				grown := make([]*entry, n, max(n, 2*cap(m.dense)))
+				copy(grown, m.dense)
+				m.dense = grown
+			}
+		}
+		m.dense[item] = e
+		return
+	}
+	if m.sparse == nil {
+		m.sparse = make(map[Item]*entry)
+	}
+	m.sparse[item] = e
+}
+
+// clearItem forgets item's entry (the entry itself is recycled by the
+// caller).
+func (m *Manager) clearItem(item Item) {
+	if uint64(item) < uint64(len(m.dense)) {
+		m.dense[item] = nil
+		return
+	}
+	delete(m.sparse, item)
+}
+
+// lookupTx returns tx's record, or nil for unknown/finished transactions.
+func (m *Manager) lookupTx(tx TxID) *txRec {
+	if len(m.ring) == 0 {
+		return nil
+	}
+	rec := m.ring[uint64(tx)&uint64(len(m.ring)-1)]
+	if rec == nil || rec.owner != tx {
+		return nil
+	}
+	return rec
+}
+
+// storeTx files rec (owner already set) into the ring, doubling it until
+// the active-TxID window fits collision-free. Active transactions are
+// bounded by the admission scheduler, and their ID span by the batch, so
+// the ring stays small and growth stops after the first batches.
+func (m *Manager) storeTx(rec *txRec) {
+	if m.ring == nil {
+		m.ring = make([]*txRec, ringInit)
+	}
+	for {
+		i := uint64(rec.owner) & uint64(len(m.ring)-1)
+		if m.ring[i] == nil {
+			m.ring[i] = rec
+			return
+		}
+		m.growRing()
+	}
+}
+
+// growRing rehashes the active transactions into a ring doubled until they
+// place collision-free.
+func (m *Manager) growRing() {
+	size := 2 * len(m.ring)
+retry:
+	for {
+		next := make([]*txRec, size)
+		for _, r := range m.ring {
+			if r == nil {
+				continue
+			}
+			j := uint64(r.owner) & uint64(size-1)
+			if next[j] != nil {
+				size *= 2
+				continue retry
+			}
+			next[j] = r
+		}
+		m.ring = next
+		return
+	}
+}
+
+// clearTx removes tx from the ring.
+func (m *Manager) clearTx(tx TxID) {
+	if len(m.ring) == 0 {
+		return
+	}
+	i := uint64(tx) & uint64(len(m.ring)-1)
+	if rec := m.ring[i]; rec != nil && rec.owner == tx {
+		m.ring[i] = nil
+	}
+}
+
+// putRec recycles a transaction record.
+func (m *Manager) putRec(rec *txRec) {
+	rec.owner = 0
+	rec.locks = rec.locks[:0]
+	rec.waits = rec.waits[:0]
+	m.recPool = append(m.recPool, rec)
 }
 
 // Reset restores the table to its freshly-constructed state — no items, no
 // transactions, TxIDs restarting from 1, zeroed counters — while keeping
-// the entry and record pools, so a recycled table behaves bit-for-bit like
-// a new one (wait-die compares TxIDs, so the ID restart matters) without
-// reallocating. Any leftover entries and records are recycled into the
-// pools rather than dropped.
+// the entry and record pools, the dense item table, and the transaction
+// ring, so a recycled table behaves bit-for-bit like a new one (wait-die
+// compares TxIDs, so the ID restart matters) without reallocating. Any
+// leftover entries and records are recycled into the pools rather than
+// dropped.
 func (m *Manager) Reset() {
-	for item, e := range m.table {
-		delete(m.table, item)
+	for i, e := range m.dense {
+		if e != nil {
+			m.dense[i] = nil
+			m.putEntry(e)
+		}
+	}
+	for item, e := range m.sparse {
+		delete(m.sparse, item)
 		m.putEntry(e)
 	}
-	for tx, rec := range m.txns {
-		delete(m.txns, tx)
-		rec.locks = rec.locks[:0]
-		rec.waits = rec.waits[:0]
-		m.recPool = append(m.recPool, rec)
+	for i, rec := range m.ring {
+		if rec != nil {
+			m.ring[i] = nil
+			m.putRec(rec)
+		}
 	}
 	m.nextTx = 0
 	m.acquisitions, m.waits, m.deaths = 0, 0, 0
@@ -265,15 +399,16 @@ func (m *Manager) Begin() TxID {
 	} else {
 		rec = &txRec{}
 	}
+	rec.owner = tx
 	rec.locks = rec.locks[:0]
 	rec.waits = rec.waits[:0]
-	m.txns[tx] = rec
+	m.storeTx(rec)
 	return tx
 }
 
 // Holds returns the mode tx holds on item, and whether it holds it at all.
 func (m *Manager) Holds(tx TxID, item Item) (Mode, bool) {
-	rec := m.txns[tx]
+	rec := m.lookupTx(tx)
 	if rec == nil {
 		return Shared, false
 	}
@@ -287,7 +422,7 @@ func (m *Manager) Holds(tx TxID, item Item) (Mode, bool) {
 
 // HeldCount returns the number of items tx currently holds.
 func (m *Manager) HeldCount(tx TxID) int {
-	rec := m.txns[tx]
+	rec := m.lookupTx(tx)
 	if rec == nil {
 		return 0
 	}
@@ -316,16 +451,16 @@ func (m *Manager) Acquire(tx TxID, item Item, mode Mode, granted, died func()) {
 	if granted == nil || died == nil {
 		panic("lock: Acquire with nil callback")
 	}
-	rec := m.txns[tx]
+	rec := m.lookupTx(tx)
 	if rec == nil {
 		panic(fmt.Sprintf("lock: Acquire by unknown transaction %d", tx))
 	}
-	e := m.table[item]
+	e := m.lookupItem(item)
 	if e == nil {
 		// A fresh entry has no holders and no queue: the request is
 		// always granted immediately.
 		e = m.getEntry()
-		m.table[item] = e
+		m.storeItem(item, e)
 		e.setHolder(tx, mode)
 		rec.locks = append(rec.locks, heldLock{item: item, mode: mode})
 		m.acquisitions++
@@ -422,14 +557,14 @@ func (m *Manager) youngerThanAnyBlocker(e *entry, tx TxID, mode Mode) bool {
 // Items are released in sorted order so the dispatch sequence — and hence
 // the whole simulation — is deterministic.
 func (m *Manager) ReleaseAll(tx TxID) {
-	rec := m.txns[tx]
+	rec := m.lookupTx(tx)
 	if rec == nil {
 		return
 	}
 	sortHeldLocks(rec.locks)
 	for i := range rec.locks {
 		item := rec.locks[i].item
-		e := m.table[item]
+		e := m.lookupItem(item)
 		e.delHolder(tx)
 		m.dispatch(item, e)
 	}
@@ -441,12 +576,12 @@ func (m *Manager) ReleaseAll(tx TxID) {
 // be answered otherwise). Only the items tx ever queued on are visited.
 func (m *Manager) End(tx TxID) {
 	m.ReleaseAll(tx)
-	rec := m.txns[tx]
+	rec := m.lookupTx(tx)
 	if rec == nil {
 		return
 	}
 	for _, item := range rec.waits {
-		e := m.table[item]
+		e := m.lookupItem(item)
 		if e == nil {
 			continue
 		}
@@ -458,14 +593,12 @@ func (m *Manager) End(tx TxID) {
 		}
 		e.queue = filtered
 		if e.numHolders() == 0 && len(e.queue) == 0 {
-			delete(m.table, item)
+			m.clearItem(item)
 			m.putEntry(e)
 		}
 	}
-	delete(m.txns, tx)
-	rec.locks = rec.locks[:0]
-	rec.waits = rec.waits[:0]
-	m.recPool = append(m.recPool, rec)
+	m.clearTx(tx)
+	m.putRec(rec)
 }
 
 // dispatch grants queued compatible requests at the head of item's queue.
@@ -479,7 +612,7 @@ func (m *Manager) dispatch(item Item, e *entry) {
 				head.mode == Exclusive && e.numHolders() == 1 {
 				e.popHead()
 				e.setHolder(head.tx, Exclusive)
-				m.txns[head.tx].updateHeld(item, Exclusive)
+				m.lookupTx(head.tx).updateHeld(item, Exclusive)
 				m.acquisitions++
 				head.granted()
 				continue
@@ -488,12 +621,12 @@ func (m *Manager) dispatch(item Item, e *entry) {
 		}
 		e.popHead()
 		e.setHolder(head.tx, head.mode)
-		m.txns[head.tx].updateHeld(item, head.mode)
+		m.lookupTx(head.tx).updateHeld(item, head.mode)
 		m.acquisitions++
 		head.granted()
 	}
 	if e.numHolders() == 0 && len(e.queue) == 0 {
-		delete(m.table, item)
+		m.clearItem(item)
 		m.putEntry(e)
 	}
 }

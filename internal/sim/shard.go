@@ -1,0 +1,592 @@
+package sim
+
+import (
+	"math"
+	"sync"
+)
+
+// Sharded intra-replication execution.
+//
+// A sharded Simulation partitions the event calendar across nshards
+// independent shards (shard of an event = seq mod nshards, a deterministic
+// round-robin over scheduling order), each with its own (time, seq)
+// min-heap and optional timing wheel over the one shared slot arena. Run
+// then alternates two phases per deterministic time window [t0, W]:
+//
+//   - Phase A (parallel): every shard's worker goroutine integrates the
+//     events the previous window deferred to it (its inbox), extracts its
+//     events with time ≤ W into a sorted run, and reports its exact next
+//     pending time. Workers touch only their own shard's structures and
+//     their own slots of the arena; the executor is parked on a
+//     WaitGroup, so the phase is race-free by construction.
+//   - Phase B (serial): the executor merges the shard runs (plus an
+//     overlay heap of events scheduled during the window itself) in exact
+//     global (time, seq) order and executes the actions one at a time.
+//     Model code therefore runs exactly as it would unsharded: same
+//     order, same clock, same sequence numbers, same RNG draw order — the
+//     merged execution is bit-identical at every ShardWorkers count,
+//     which the golden tests pin.
+//
+// The window is W = t0 + lookahead, where t0 is the exact earliest
+// pending time across all shards and the lookahead is derived by the
+// model from its service-time lower bounds (any positive value is
+// correct; it only tunes how many events amortize one barrier). Events
+// scheduled during phase B with time ≤ W join the in-flight window
+// through the overlay; later ones are appended to the owning shard's
+// inbox and integrated at the next barrier.
+//
+// What parallelizes is the calendar maintenance — heap sift-ups/downs and
+// wheel cascades over large pending populations, which dominate kernel
+// time at MPL ≥ thousands — while action execution stays serial to
+// preserve the exact semantics of shared model state.
+
+// Sentinel values of eventSlot.bucket marking which sharded structure
+// holds a live slot when it is in none of the heaps or wheel buckets.
+const (
+	bkNone    int32 = -1 // in a heap (heapIdx ≥ 0) or free
+	bkOverlay int32 = -2 // in the merge overlay heap (heapIdx is its position)
+	bkInbox   int32 = -3 // parked in a shard's inbox until the next barrier
+	bkRun     int32 = -4 // extracted into a shard's sorted window run
+)
+
+// MaxShardWorkers caps WithShardWorkers; more shards than this only add
+// barrier overhead.
+const MaxShardWorkers = 64
+
+// DefaultLookaheadMs is the window lookahead used when WithLookahead is
+// not given: one default wheel tick.
+const DefaultLookaheadMs = DefaultWheelTickMs
+
+// simShard is one calendar partition. The worker goroutine owns heap,
+// wheel, run, and head during phase A; the executor owns everything
+// between barriers. The pad keeps adjacent shards' hot fields off one
+// cache line.
+type simShard struct {
+	heap     []int32
+	wheel    *wheel
+	inbox    []int32 // executor-filled during phase B, integrated in phase A
+	inboxMin Time    // exact min time in inbox (executor-maintained)
+	run      []int32 // extracted events of the current window, (time, seq)-sorted
+	runPos   int
+	head     Time // exact earliest pending time in the shard calendar, +Inf if empty
+	executed uint64
+	_        [64]byte
+}
+
+// WithShardWorkers shards the simulation across n worker goroutines
+// (values ≤ 1 select the classic single-calendar engine, > MaxShardWorkers
+// is clamped). Firing order — and therefore every simulation result — is
+// bit-identical at every value; n only decides how many cores a single
+// Run can use.
+func WithShardWorkers(n int) Option {
+	return func(s *Simulation) { s.shardReq = n }
+}
+
+// WithLookahead sets the sharded engine's window lookahead in simulated
+// time units (default DefaultLookaheadMs). Any positive value yields
+// identical results; larger windows amortize barriers over more events
+// but serialize more of the freshly scheduled work. It panics on a
+// non-positive lookahead.
+func WithLookahead(l Time) Option {
+	return func(s *Simulation) {
+		if !(l > 0) {
+			panic("sim: WithLookahead with non-positive lookahead")
+		}
+		s.lookahead = l
+	}
+}
+
+// ShardWorkers returns the number of calendar shards (1 when unsharded).
+func (s *Simulation) ShardWorkers() int {
+	if s.nshards == 0 {
+		return 1
+	}
+	return s.nshards
+}
+
+// ShardImbalance returns the load-balance ratio max/mean of events
+// executed per shard since the last Reset: 1.0 is a perfect spread, N is
+// everything on one of N shards. An unsharded simulation (or one that has
+// executed nothing) reports exactly 1.
+func (s *Simulation) ShardImbalance() float64 {
+	if s.nshards == 0 {
+		return 1
+	}
+	var max, total uint64
+	for k := range s.shards {
+		e := s.shards[k].executed
+		total += e
+		if e > max {
+			max = e
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(max) * float64(s.nshards) / float64(total)
+}
+
+// initShards resolves the WithShardWorkers request at construction.
+func (s *Simulation) initShards() {
+	n := s.shardReq
+	if n > MaxShardWorkers {
+		n = MaxShardWorkers
+	}
+	s.nshards = n
+	if s.lookahead <= 0 {
+		s.lookahead = DefaultLookaheadMs
+	}
+	s.shards = make([]simShard, n)
+	for k := range s.shards {
+		sh := &s.shards[k]
+		sh.head = math.Inf(1)
+		sh.inboxMin = math.Inf(1)
+		if s.kind == WheelCalendar {
+			sh.wheel = s.newShardWheel()
+		}
+	}
+}
+
+func (s *Simulation) newShardWheel() *wheel {
+	tick := s.wheelTick
+	if tick <= 0 {
+		tick = DefaultWheelTickMs
+	}
+	w := newWheel(tick, 0)
+	w.cur = w.tickOf(s.now)
+	return w
+}
+
+// resetShards is Reset's sharded half: the arena walk in Reset has
+// already freed every slot, so only the shard structures and counters
+// need clearing.
+func (s *Simulation) resetShards() {
+	for k := range s.shards {
+		sh := &s.shards[k]
+		sh.heap = sh.heap[:0]
+		sh.inbox = sh.inbox[:0]
+		sh.inboxMin = math.Inf(1)
+		sh.run = sh.run[:0]
+		sh.runPos = 0
+		sh.head = math.Inf(1)
+		sh.executed = 0
+		if sh.wheel != nil {
+			sh.wheel.clear(0)
+		}
+	}
+	s.overlay = s.overlay[:0]
+	s.live = 0
+	s.inMerge = false
+}
+
+// growShards is Grow's sharded half: the arena grows to n as usual and
+// each shard pre-sizes its heap and staging slices to its share, so a
+// model announcing its peak population schedules allocation-free. The
+// AutoCalendar switch applies per shard.
+func (s *Simulation) growShards(n int) {
+	if s.kind == AutoCalendar && s.shards[0].wheel == nil && n >= WheelAutoThreshold && s.live == 0 {
+		for k := range s.shards {
+			s.shards[k].wheel = s.newShardWheel()
+		}
+	}
+	s.growArena(n)
+	per := n/s.nshards + 1
+	for k := range s.shards {
+		sh := &s.shards[k]
+		if cap(sh.heap) < per {
+			h := make([]int32, len(sh.heap), per)
+			copy(h, sh.heap)
+			sh.heap = h
+		}
+		if cap(sh.run) < per {
+			r := make([]int32, len(sh.run), per)
+			copy(r, sh.run)
+			sh.run = r
+		}
+		if cap(sh.inbox) < per {
+			in := make([]int32, len(sh.inbox), per)
+			copy(in, sh.inbox)
+			sh.inbox = in
+		}
+	}
+}
+
+func (s *Simulation) shardOf(seq uint64) *simShard {
+	return &s.shards[seq%uint64(s.nshards)]
+}
+
+// calPlace files a slot into sh's calendar (wheel or heap).
+func (s *Simulation) calPlace(sh *simShard, idx int32) {
+	if sh.wheel != nil {
+		s.wheelPlace(sh.wheel, &sh.heap, idx)
+	} else {
+		s.hPush(&sh.heap, idx)
+	}
+}
+
+// shardPlace is ScheduleAt's sharded tail: route the freshly filled slot
+// to the overlay (due inside the in-flight window), the owning shard's
+// inbox (due later, integrated at the next barrier), or — outside Run —
+// straight into the shard calendar.
+func (s *Simulation) shardPlace(idx int32, t Time) {
+	s.live++
+	if s.live > s.peak {
+		s.peak = s.live
+	}
+	slot := &s.events[idx]
+	if s.inMerge {
+		if t <= s.windowEnd {
+			slot.bucket = bkOverlay
+			s.hPush(&s.overlay, idx)
+		} else {
+			sh := s.shardOf(slot.seq)
+			slot.bucket = bkInbox
+			sh.inbox = append(sh.inbox, idx)
+			if t < sh.inboxMin {
+				sh.inboxMin = t
+			}
+		}
+		return
+	}
+	sh := s.shardOf(slot.seq)
+	s.calPlace(sh, idx)
+	if t < sh.head {
+		sh.head = t
+	}
+}
+
+// shardCancel removes a live slot from whichever sharded structure holds
+// it. All structures are executor-owned whenever model code (the only
+// caller of Cancel) runs, so no synchronization is needed. A slot already
+// extracted into a window run is tombstoned in place — the merge loop
+// frees it when it reaches the front — because runs are consumed by
+// position, not searched.
+func (s *Simulation) shardCancel(idx int32, slot *eventSlot) {
+	switch {
+	case slot.bucket == bkRun:
+		slot.action = nil
+		slot.gen++ // odd: cancelled; merge frees the slot
+		s.cancelled++
+		s.live--
+		return
+	case slot.bucket == bkOverlay:
+		slot.bucket = bkNone
+		s.hRemove(&s.overlay, slot.heapIdx)
+	case slot.bucket == bkInbox:
+		slot.bucket = bkNone
+		sh := s.shardOf(slot.seq)
+		min := math.Inf(1)
+		for i := 0; i < len(sh.inbox); {
+			j := sh.inbox[i]
+			if j == idx {
+				last := len(sh.inbox) - 1
+				sh.inbox[i] = sh.inbox[last]
+				sh.inbox = sh.inbox[:last]
+				continue
+			}
+			if t := s.events[j].time; t < min {
+				min = t
+			}
+			i++
+		}
+		sh.inboxMin = min
+	case slot.bucket >= 0:
+		s.bucketRemove(s.shardOf(slot.seq).wheel, idx)
+	case slot.heapIdx >= 0:
+		sh := s.shardOf(slot.seq)
+		s.hRemove(&sh.heap, slot.heapIdx)
+		// sh.head may now be stale-low; it is a safe lower bound for the
+		// next window's t0 and is recomputed exactly at every extraction.
+	default:
+		return // not pending
+	}
+	slot.action = nil
+	slot.gen++ // odd: cancelled
+	s.free = append(s.free, idx)
+	s.cancelled++
+	s.live--
+}
+
+// shardMin locates the shard holding the globally earliest (time, seq)
+// event and returns it with the root slot index, refreshing each shard's
+// exact head on the way. (-1, -1) means the calendar is empty. Used by
+// the stepping paths (Step, RunUntil); Run uses the window loop.
+func (s *Simulation) shardMin() (int, int32) {
+	best, bestIdx := -1, int32(-1)
+	for k := range s.shards {
+		sh := &s.shards[k]
+		if len(sh.heap) == 0 && sh.wheel != nil {
+			s.advanceWheel(sh.wheel, &sh.heap)
+		}
+		if len(sh.heap) == 0 {
+			sh.head = math.Inf(1)
+			continue
+		}
+		root := sh.heap[0]
+		sh.head = s.events[root].time
+		if bestIdx < 0 || s.slotLess(root, bestIdx) {
+			best, bestIdx = k, root
+		}
+	}
+	return best, bestIdx
+}
+
+// shardStep executes the single next event (Step's sharded body).
+func (s *Simulation) shardStep() bool {
+	k, _ := s.shardMin()
+	if k < 0 {
+		return false
+	}
+	sh := &s.shards[k]
+	idx := s.hPop(&sh.heap)
+	slot := &s.events[idx]
+	s.now = slot.time
+	action := slot.action
+	slot.action = nil
+	slot.gen += 2 // stays even: fired
+	s.free = append(s.free, idx)
+	s.executed++
+	sh.executed++
+	s.live--
+	if len(sh.heap) > 0 {
+		sh.head = s.events[sh.heap[0]].time
+	} else {
+		sh.head = math.Inf(1)
+	}
+	if s.Trace != nil {
+		s.Trace(s.now)
+	}
+	action()
+	return true
+}
+
+// runSharded is Run's sharded body: spawn one worker per shard, then
+// alternate barrier-synchronized extraction windows with serial merges
+// until the calendar drains (or the stop check halts the run). Workers
+// live for this Run only and are shut down on every exit path — actions
+// only execute in phase B, so even a panicking model unwinds through the
+// deferred shutdown with all workers parked on their channels.
+func (s *Simulation) runSharded() {
+	if s.halted {
+		return
+	}
+	if s.startCh == nil {
+		s.startCh = make([]chan Time, s.nshards)
+		for k := range s.startCh {
+			s.startCh[k] = make(chan Time, 1)
+		}
+	}
+	wg := &s.shardWG
+	for k := range s.shards {
+		go s.shardWorker(&s.shards[k], s.startCh[k], wg)
+	}
+	defer func() {
+		wg.Add(s.nshards)
+		for _, ch := range s.startCh {
+			ch <- math.NaN() // sentinel: exit (a window end is never NaN)
+		}
+		wg.Wait()
+	}()
+	polled := s.stopCheck != nil
+	for {
+		if polled && s.halted {
+			break
+		}
+		if s.live == 0 {
+			return // calendar drained
+		}
+		t0 := math.Inf(1)
+		for k := range s.shards {
+			sh := &s.shards[k]
+			if sh.head < t0 {
+				t0 = sh.head
+			}
+			if sh.inboxMin < t0 {
+				t0 = sh.inboxMin
+			}
+		}
+		// t0 may be +Inf (every pending event is at +Inf); the window then
+		// covers the whole remaining calendar, which is exactly right.
+		w := t0 + s.lookahead
+		s.windowEnd = w
+		wg.Add(s.nshards)
+		for _, ch := range s.startCh {
+			ch <- w
+		}
+		wg.Wait()
+		for k := range s.shards {
+			s.shards[k].inboxMin = math.Inf(1)
+		}
+		s.mergeWindow(w, polled)
+	}
+	// Halted mid-window: park every in-flight event back in its shard
+	// calendar so Pending/Step/Reset see a consistent sharded state.
+	s.rehome()
+}
+
+// shardWorker is phase A for one shard: on each window signal, integrate
+// the inbox, extract the window run, and recompute the exact head. The
+// channel receive orders the executor's phase-B writes before the
+// worker's reads; wg.Done orders the worker's writes before the
+// executor's next merge.
+func (s *Simulation) shardWorker(sh *simShard, ch <-chan Time, wg *sync.WaitGroup) {
+	for {
+		w := <-ch
+		if math.IsNaN(w) {
+			wg.Done()
+			return
+		}
+		for _, idx := range sh.inbox {
+			s.events[idx].bucket = bkNone
+			s.calPlace(sh, idx)
+		}
+		sh.inbox = sh.inbox[:0]
+		s.extract(sh, w)
+		wg.Done()
+	}
+}
+
+// extract pops every event with time ≤ w from sh's calendar into sh.run
+// in (time, seq) order and leaves sh.head exact. When the ready heap's
+// root is beyond w, so is everything still in the wheel: tickOf is
+// monotone in time and wheel events all have tick > cur ≥ every ready
+// tick, so a wheel event earlier than the ready root cannot exist.
+func (s *Simulation) extract(sh *simShard, w Time) {
+	sh.run = sh.run[:0]
+	sh.runPos = 0
+	for {
+		if len(sh.heap) == 0 {
+			if sh.wheel == nil || !s.advanceWheel(sh.wheel, &sh.heap) {
+				break
+			}
+			continue
+		}
+		root := sh.heap[0]
+		if s.events[root].time > w {
+			break
+		}
+		idx := s.hPop(&sh.heap)
+		s.events[idx].bucket = bkRun
+		sh.run = append(sh.run, idx)
+	}
+	if len(sh.heap) > 0 {
+		sh.head = s.events[sh.heap[0]].time
+	} else {
+		sh.head = math.Inf(1)
+	}
+}
+
+// mergeWindow is phase B: execute the union of the shard runs and the
+// overlay in exact global (time, seq) order. Actions run here — and only
+// here — so every Schedule/Cancel they make happens while the workers
+// are parked.
+func (s *Simulation) mergeWindow(w Time, polled bool) {
+	s.inMerge = true
+	s.windowEnd = w
+	for {
+		if polled && s.halted {
+			break
+		}
+		best, bestShard := int32(-1), -1
+		for k := range s.shards {
+			sh := &s.shards[k]
+			for sh.runPos < len(sh.run) {
+				idx := sh.run[sh.runPos]
+				slot := &s.events[idx]
+				if slot.gen&1 != 0 { // tombstoned by Cancel: free and skip
+					slot.bucket = bkNone
+					s.free = append(s.free, idx)
+					sh.runPos++
+					continue
+				}
+				if best < 0 || s.slotLess(idx, best) {
+					best, bestShard = idx, k
+				}
+				break
+			}
+		}
+		if len(s.overlay) > 0 {
+			if idx := s.overlay[0]; best < 0 || s.slotLess(idx, best) {
+				best, bestShard = idx, -1
+			}
+		}
+		if best < 0 {
+			break // window exhausted
+		}
+		if bestShard >= 0 {
+			s.shards[bestShard].runPos++
+		} else {
+			s.hPop(&s.overlay)
+		}
+		slot := &s.events[best]
+		s.now = slot.time
+		action := slot.action
+		seq := slot.seq
+		slot.action = nil
+		slot.bucket = bkNone
+		slot.gen += 2 // stays even: fired
+		s.free = append(s.free, best)
+		s.executed++
+		s.shardOf(seq).executed++
+		s.live--
+		if s.Trace != nil {
+			s.Trace(s.now)
+		}
+		action()
+		if polled && s.executed&(StopCheckInterval-1) == 0 && s.stopCheck != nil && s.stopCheck() {
+			s.halted = true
+		}
+	}
+	if !s.halted {
+		for k := range s.shards {
+			sh := &s.shards[k]
+			sh.run = sh.run[:0]
+			sh.runPos = 0
+		}
+	}
+	s.inMerge = false
+}
+
+// rehome re-files every event stranded in a run, the overlay, or an inbox
+// back into its shard calendar after a halt, restoring the between-runs
+// invariant (all pending events live in shard calendars, heads are lower
+// bounds).
+func (s *Simulation) rehome() {
+	for k := range s.shards {
+		sh := &s.shards[k]
+		for _, idx := range sh.run[sh.runPos:] {
+			slot := &s.events[idx]
+			slot.bucket = bkNone
+			if slot.gen&1 != 0 { // tombstone the merge never reached
+				s.free = append(s.free, idx)
+				continue
+			}
+			s.calPlace(sh, idx)
+			if slot.time < sh.head {
+				sh.head = slot.time
+			}
+		}
+		sh.run = sh.run[:0]
+		sh.runPos = 0
+		for _, idx := range sh.inbox {
+			slot := &s.events[idx]
+			slot.bucket = bkNone
+			s.calPlace(sh, idx)
+			if slot.time < sh.head {
+				sh.head = slot.time
+			}
+		}
+		sh.inbox = sh.inbox[:0]
+		sh.inboxMin = math.Inf(1)
+	}
+	for len(s.overlay) > 0 {
+		idx := s.hPop(&s.overlay)
+		slot := &s.events[idx]
+		slot.bucket = bkNone
+		sh := s.shardOf(slot.seq)
+		s.calPlace(sh, idx)
+		if slot.time < sh.head {
+			sh.head = slot.time
+		}
+	}
+}

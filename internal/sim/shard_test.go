@@ -1,0 +1,398 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// shardCounts covers the degenerate request (1 → classic engine), an even
+// split, an odd split (uneven seq round-robin), and the CI smoke count.
+var shardCounts = []int{1, 2, 3, 4}
+
+// TestShardLockstepEquivalence proves bit-identical firing order across
+// shard counts by replaying the wheel tests' randomized scenario — wide
+// delay spectrum, nested scheduling from actions, cancels — against the
+// unsharded reference, on both calendars.
+func TestShardLockstepEquivalence(t *testing.T) {
+	for _, kind := range []CalendarKind{HeapCalendar, WheelCalendar} {
+		for _, n := range []int{1, 17, 300, 2000} {
+			ref := runScenario(New(WithCalendar(kind)), n, lcg(9001))
+			if len(ref) == 0 {
+				t.Fatalf("n=%d: scenario fired nothing", n)
+			}
+			for _, sw := range shardCounts {
+				got := runScenario(New(WithCalendar(kind), WithShardWorkers(sw)), n, lcg(9001))
+				if len(got) != len(ref) {
+					t.Fatalf("%v shards=%d n=%d: fired %d events, reference %d",
+						kind, sw, n, len(got), len(ref))
+				}
+				for i := range ref {
+					if got[i] != ref[i] {
+						t.Fatalf("%v shards=%d n=%d: firing %d differs: got %+v want %+v",
+							kind, sw, n, i, got[i], ref[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardLockstepLookahead replays the same scenario across a spectrum
+// of lookaheads: correctness must not depend on the window size.
+func TestShardLockstepLookahead(t *testing.T) {
+	ref := runScenario(New(), 500, lcg(31337))
+	for _, l := range []Time{1e-6, 0.1, 1, 50, 1e9} {
+		got := runScenario(New(WithShardWorkers(4), WithLookahead(l)), 500, lcg(31337))
+		if len(got) != len(ref) {
+			t.Fatalf("lookahead=%v: fired %d, want %d", l, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("lookahead=%v: firing %d differs: got %+v want %+v", l, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// runCancelScenario stresses every sharded Cancel location: actions cancel
+// pseudo-random later handles mid-run, so victims are hit while sitting in
+// shard heaps and wheels (future windows), inboxes (scheduled then
+// cancelled inside one window), the overlay, and extracted runs
+// (tombstones). Both engines see identical state at every action, so the
+// cancel pattern — and therefore the firing record — must match exactly.
+func runCancelScenario(s *Simulation, n int, seed lcg) []fired {
+	rng := seed
+	var record []fired
+	handles := make([]Event, 0, 4*n)
+	var schedule func(depth int)
+	schedule = func(depth int) {
+		myID := len(handles)
+		var delay Time
+		switch r := rng.float(); {
+		case r < 0.3:
+			delay = 0 // same-time chains through the overlay
+		case r < 0.6:
+			delay = rng.float() * 0.5 // inside the default window
+		case r < 0.9:
+			delay = rng.float() * 300
+		default:
+			delay = 1e6 + rng.float()*1e9
+		}
+		d := depth
+		h := s.Schedule(delay, func() {
+			record = append(record, fired{id: myID, now: s.Now()})
+			if len(handles) > 0 && rng.float() < 0.4 {
+				s.Cancel(handles[int(rng.next())%len(handles)])
+			}
+			if d < 3 && rng.float() < 0.35 {
+				schedule(d + 1)
+			}
+		})
+		handles = append(handles, h)
+	}
+	for i := 0; i < n; i++ {
+		schedule(0)
+	}
+	s.Run()
+	return record
+}
+
+func TestShardCancelEquivalence(t *testing.T) {
+	for _, kind := range []CalendarKind{HeapCalendar, WheelCalendar} {
+		ref := runCancelScenario(New(WithCalendar(kind)), 400, lcg(555))
+		if len(ref) == 0 {
+			t.Fatal("cancel scenario fired nothing")
+		}
+		for _, sw := range shardCounts {
+			got := runCancelScenario(New(WithCalendar(kind), WithShardWorkers(sw)), 400, lcg(555))
+			if len(got) != len(ref) {
+				t.Fatalf("%v shards=%d: fired %d, want %d", kind, sw, len(got), len(ref))
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("%v shards=%d: firing %d differs: got %+v want %+v",
+						kind, sw, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestShardSameTimeFIFO pins the same-time tie-break across a barrier:
+// equal-time events land on different shards (round-robin by seq) and the
+// merge must still fire them in scheduling order.
+func TestShardSameTimeFIFO(t *testing.T) {
+	for _, sw := range shardCounts {
+		s := New(WithShardWorkers(sw))
+		var order []int
+		for i := 0; i < 100; i++ {
+			i := i
+			s.Schedule(5, func() { order = append(order, i) })
+		}
+		s.Run()
+		for i, got := range order {
+			if got != i {
+				t.Fatalf("shards=%d: FIFO violated at %d: got %d", sw, i, got)
+			}
+		}
+	}
+}
+
+// TestShardStepRunUntil drives the sharded engine through the stepping
+// paths — Step, RunUntil mid-calendar, then Run — and checks the firing
+// record and clock against the unsharded engine.
+func TestShardStepRunUntil(t *testing.T) {
+	drive := func(s *Simulation) []fired {
+		rng := lcg(77)
+		var record []fired
+		for i := 0; i < 200; i++ {
+			id := i
+			s.Schedule(rng.float()*100, func() { record = append(record, fired{id: id, now: s.Now()}) })
+		}
+		for i := 0; i < 25; i++ {
+			s.Step()
+		}
+		s.RunUntil(60)
+		if s.Now() != 60 {
+			t.Fatalf("RunUntil left clock at %v", s.Now())
+		}
+		s.Run()
+		return record
+	}
+	ref := drive(New())
+	for _, sw := range shardCounts {
+		for _, kind := range []CalendarKind{HeapCalendar, WheelCalendar} {
+			got := drive(New(WithCalendar(kind), WithShardWorkers(sw)))
+			if len(got) != len(ref) {
+				t.Fatalf("%v shards=%d: fired %d, want %d", kind, sw, len(got), len(ref))
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("%v shards=%d: firing %d differs", kind, sw, i)
+				}
+			}
+		}
+	}
+}
+
+// TestShardHaltRehome halts a sharded run mid-window (Halt from an action,
+// with a stop check installed so the halt is honored), then resumes: the
+// events stranded in runs, overlay, and inboxes must be re-homed so the
+// drained remainder matches the unsharded engine exactly.
+func TestShardHaltRehome(t *testing.T) {
+	drive := func(s *Simulation) []fired {
+		rng := lcg(4321)
+		var record []fired
+		for i := 0; i < 300; i++ {
+			id := i
+			s.Schedule(rng.float()*50, func() {
+				record = append(record, fired{id: id, now: s.Now()})
+				if len(record) == 100 {
+					s.Halt()
+				}
+				if rng.float() < 0.3 {
+					s.Schedule(rng.float()*50, func() {
+						record = append(record, fired{id: -id, now: s.Now()})
+					})
+				}
+			})
+		}
+		s.SetStopCheck(func() bool { return false })
+		s.Run()
+		if !s.Halted() {
+			t.Fatal("run did not halt")
+		}
+		mid := s.Pending()
+		if mid == 0 {
+			t.Fatal("halt left nothing pending; scenario too small")
+		}
+		s.SetStopCheck(nil) // clears halted
+		s.Run()
+		if s.Pending() != 0 {
+			t.Fatalf("resumed run left %d pending", s.Pending())
+		}
+		return record
+	}
+	ref := drive(New())
+	for _, sw := range []int{2, 4} {
+		for _, kind := range []CalendarKind{HeapCalendar, WheelCalendar} {
+			got := drive(New(WithCalendar(kind), WithShardWorkers(sw)))
+			if len(got) != len(ref) {
+				t.Fatalf("%v shards=%d: fired %d, want %d", kind, sw, len(got), len(ref))
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("%v shards=%d: firing %d differs: got %+v want %+v",
+						kind, sw, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestShardResetReuse checks a reset sharded simulation replays a
+// scenario without allocating: per-shard heaps, inboxes, and the arena
+// are all retained across Reset. The scenario drains through the
+// goroutine-free stepping path; Run itself additionally costs nshards
+// goroutine spawns per call (amortized across a whole run — the
+// benchmark's single long Run pins that path at 0 allocs/op).
+func TestShardResetReuse(t *testing.T) {
+	s := New(WithShardWorkers(4))
+	cycle := func() {
+		for i := 0; i < 256; i++ {
+			s.Schedule(Time(i%37)*3.5, func() {})
+		}
+		h := s.Schedule(1e9, func() {})
+		s.Cancel(h)
+		s.RunUntil(1e10)
+		s.Reset()
+	}
+	cycle() // warm storage
+	if allocs := testing.AllocsPerRun(10, cycle); allocs != 0 {
+		t.Fatalf("reset sharded reuse allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestShardCountersAndPeak checks the bookkeeping the model layer reads —
+// Scheduled/Executed/Pending/PeakPending — matches the unsharded engine.
+func TestShardCountersAndPeak(t *testing.T) {
+	build := func(s *Simulation) {
+		for i := 0; i < 64; i++ {
+			s.Schedule(Time(i), func() {})
+		}
+		s.Cancel(s.Schedule(100, func() {}))
+		s.Run()
+	}
+	ref := New()
+	build(ref)
+	for _, sw := range shardCounts {
+		s := New(WithShardWorkers(sw))
+		build(s)
+		if s.Scheduled() != ref.Scheduled() || s.Executed() != ref.Executed() ||
+			s.Pending() != ref.Pending() || s.PeakPending() != ref.PeakPending() {
+			t.Fatalf("shards=%d: counters sched=%d exec=%d pend=%d peak=%d, want %d/%d/%d/%d",
+				sw, s.Scheduled(), s.Executed(), s.Pending(), s.PeakPending(),
+				ref.Scheduled(), ref.Executed(), ref.Pending(), ref.PeakPending())
+		}
+	}
+}
+
+// TestShardImbalance checks the metric's contract: exactly 1 unsharded,
+// ≥ 1 sharded, and 1 again after Reset.
+func TestShardImbalance(t *testing.T) {
+	u := New()
+	u.Schedule(1, func() {})
+	u.Run()
+	if got := u.ShardImbalance(); got != 1 {
+		t.Fatalf("unsharded imbalance = %v, want 1", got)
+	}
+	s := New(WithShardWorkers(4))
+	if got := s.ShardImbalance(); got != 1 {
+		t.Fatalf("idle sharded imbalance = %v, want 1", got)
+	}
+	for i := 0; i < 1000; i++ {
+		s.Schedule(Time(i%13), func() {})
+	}
+	s.Run()
+	got := s.ShardImbalance()
+	if got < 1 || got > 4 {
+		t.Fatalf("imbalance = %v, want within [1, 4]", got)
+	}
+	s.Reset()
+	if got := s.ShardImbalance(); got != 1 {
+		t.Fatalf("post-Reset imbalance = %v, want 1", got)
+	}
+}
+
+// TestShardWorkersAccessor checks the resolution rules: ≤ 1 is the
+// classic engine, the cap clamps, and results still drain.
+func TestShardWorkersAccessor(t *testing.T) {
+	if got := New().ShardWorkers(); got != 1 {
+		t.Fatalf("default ShardWorkers = %d", got)
+	}
+	if got := New(WithShardWorkers(1)).ShardWorkers(); got != 1 {
+		t.Fatalf("ShardWorkers(1) = %d", got)
+	}
+	if got := New(WithShardWorkers(3)).ShardWorkers(); got != 3 {
+		t.Fatalf("ShardWorkers(3) = %d", got)
+	}
+	if got := New(WithShardWorkers(1 << 20)).ShardWorkers(); got != MaxShardWorkers {
+		t.Fatalf("huge request resolves to %d, want %d", got, MaxShardWorkers)
+	}
+}
+
+// TestShardLookaheadValidation checks the option's panic contract.
+func TestShardLookaheadValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WithLookahead(0) must panic")
+		}
+	}()
+	New(WithShardWorkers(2), WithLookahead(0))
+}
+
+// TestShardAutoSwitch checks the per-shard AutoCalendar switch: a large
+// Grow hint on an empty sharded calendar flips every shard to a wheel.
+func TestShardAutoSwitch(t *testing.T) {
+	s := New(WithShardWorkers(4))
+	if s.Calendar() != AutoCalendar {
+		t.Fatalf("fresh sharded calendar = %v", s.Calendar())
+	}
+	s.Grow(WheelAutoThreshold)
+	if s.Calendar() != WheelCalendar {
+		t.Fatal("threshold hint must switch sharded calendar to wheels")
+	}
+	ref := runScenario(New(WithCalendar(WheelCalendar)), 300, lcg(777))
+	switched := New(WithShardWorkers(4))
+	switched.Grow(WheelAutoThreshold)
+	got := runScenario(switched, 300, lcg(777))
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("auto-switched sharded firing %d differs", i)
+		}
+	}
+}
+
+// BenchmarkShardedScale is BenchmarkCalendarScale's hold model on the
+// sharded engine: a standing population of pending events held across
+// windows at shard counts 1/2/4. One op is one executed event inside a
+// single long Run bounded by the stop check, so the per-Run worker spawn
+// amortizes to nothing and the steady-state kernel path is 0 allocs/op
+// (CI-gated). Calendar maintenance parallelizes in phase A; the serial
+// merge bounds the speedup (Amdahl), so this series is the honest measure
+// of what sharding buys at a given core count.
+func BenchmarkShardedScale(b *testing.B) {
+	for _, kind := range []CalendarKind{HeapCalendar, WheelCalendar} {
+		for _, sw := range []int{1, 2, 4} {
+			for _, n := range []int{10_000, 100_000} {
+				b.Run(fmt.Sprintf("%s/shards%d/pending%d", kind, sw, n), func(b *testing.B) {
+					s := New(WithCalendar(kind), WithShardWorkers(sw))
+					s.Grow(n + 1)
+					rng := lcg(2026)
+					var hold func()
+					hold = func() {
+						s.Schedule(rng.float()*1e4, hold)
+					}
+					for i := 0; i < n; i++ {
+						s.Schedule(rng.float()*1e4, hold)
+					}
+					var target uint64
+					check := func() bool { return s.Executed() >= target }
+					runEvents := func(k uint64) {
+						target = s.Executed() + k
+						s.SetStopCheck(check) // also clears the previous halt
+						s.Run()
+					}
+					runEvents(uint64(n)) // warm: runs, overlay, channels at steady size
+					b.ReportAllocs()
+					b.ResetTimer()
+					runEvents(uint64(b.N))
+					b.StopTimer()
+					if s.Pending() != n {
+						b.Fatalf("population drifted to %d", s.Pending())
+					}
+				})
+			}
+		}
+	}
+}

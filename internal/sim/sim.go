@@ -22,6 +22,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Time is simulated time. The unit is chosen by the model; the VOODB model
@@ -61,8 +62,10 @@ func (e Event) Pending() bool {
 	if e.s == nil || int(e.slot) >= len(e.s.events) {
 		return false
 	}
+	// A live slot is in a heap (heapIdx ≥ 0), a wheel bucket (bucket ≥ 0),
+	// or one of the sharded engine's staging structures (bucket < bkNone).
 	slot := &e.s.events[e.slot]
-	return slot.gen == e.gen && (slot.heapIdx >= 0 || slot.bucket >= 0)
+	return slot.gen == e.gen && (slot.heapIdx >= 0 || slot.bucket != bkNone)
 }
 
 // eventSlot is one arena entry. Live slots (heapIdx ≥ 0) hold an even
@@ -114,6 +117,22 @@ type Simulation struct {
 	stopCheck func() bool
 	halted    bool
 
+	// Sharded execution (see shard.go). nshards == 0 is the classic
+	// single-calendar engine; nshards ≥ 2 partitions the calendar across
+	// that many shards, each advanced by its own worker goroutine inside
+	// deterministic time windows. shardReq holds the WithShardWorkers
+	// request before New resolves it.
+	shardReq  int
+	nshards   int
+	lookahead Time
+	shards    []simShard
+	overlay   []int32 // in-window schedules, a (time, seq) min-heap
+	startCh   []chan Time
+	shardWG   sync.WaitGroup // barrier between phases; lives here so Run allocates nothing
+	inMerge   bool
+	windowEnd Time
+	live      int // pending events across all shard structures
+
 	// Trace, when non-nil, is invoked for every executed event with the
 	// firing time. It exists for debugging models and is never set by the
 	// kernel itself.
@@ -126,7 +145,9 @@ func New(opts ...Option) *Simulation {
 	for _, opt := range opts {
 		opt(s)
 	}
-	if s.kind == WheelCalendar {
+	if s.shardReq > 1 {
+		s.initShards()
+	} else if s.kind == WheelCalendar {
 		s.enableWheel()
 	}
 	return s
@@ -167,6 +188,9 @@ func (s *Simulation) Reset() {
 	if s.wheel != nil {
 		s.wheel.clear(0) // keep the wheel (and its bucket storage), empty it
 	}
+	if s.nshards > 0 {
+		s.resetShards()
+	}
 }
 
 // Grow pre-sizes the calendar so at least n events can be pending at once
@@ -180,18 +204,28 @@ func (s *Simulation) Reset() {
 // through Calendar() — firing order is bit-identical either way — and
 // persists across Reset like any other capacity decision.
 func (s *Simulation) Grow(n int) {
+	if s.nshards > 0 {
+		s.growShards(n)
+		return
+	}
 	if s.kind == AutoCalendar && s.wheel == nil && n >= WheelAutoThreshold && s.Pending() == 0 {
 		s.enableWheel()
 	}
-	if cap(s.events) < n {
-		events := make([]eventSlot, len(s.events), n)
-		copy(events, s.events)
-		s.events = events
-	}
+	s.growArena(n)
 	if cap(s.heap) < n {
 		heap := make([]int32, len(s.heap), n)
 		copy(heap, s.heap)
 		s.heap = heap
+	}
+}
+
+// growArena is the arena/free-list half of Grow, shared with the sharded
+// engine (which sizes per-shard heaps itself).
+func (s *Simulation) growArena(n int) {
+	if cap(s.events) < n {
+		events := make([]eventSlot, len(s.events), n)
+		copy(events, s.events)
+		s.events = events
 	}
 	if cap(s.free) < n {
 		free := make([]int32, len(s.free), n)
@@ -205,6 +239,9 @@ func (s *Simulation) Now() Time { return s.now }
 
 // Pending returns the number of events waiting in the calendar.
 func (s *Simulation) Pending() int {
+	if s.nshards > 0 {
+		return s.live
+	}
 	if s.wheel != nil {
 		return len(s.heap) + s.wheel.count
 	}
@@ -220,7 +257,11 @@ func (s *Simulation) PeakPending() int { return s.peak }
 // configured kind, except that an AutoCalendar simulation reports
 // WheelCalendar once the auto-switch has fired.
 func (s *Simulation) Calendar() CalendarKind {
-	if s.wheel != nil {
+	w := s.wheel
+	if s.nshards > 0 {
+		w = s.shards[0].wheel
+	}
+	if w != nil {
 		return WheelCalendar
 	}
 	if s.kind == AutoCalendar {
@@ -261,12 +302,15 @@ func (s *Simulation) ScheduleAt(t Time, action func()) Event {
 	slot.action = action
 	s.seq++
 	s.scheduled++
-	if s.wheel != nil {
-		s.wheelPlace(idx)
+	switch {
+	case s.nshards > 0:
+		s.shardPlace(idx, t)
+	case s.wheel != nil:
+		s.wheelPlace(s.wheel, &s.heap, idx)
 		if p := len(s.heap) + s.wheel.count; p > s.peak {
 			s.peak = p
 		}
-	} else {
+	default:
 		s.heapPush(idx)
 		if p := len(s.heap); p > s.peak {
 			s.peak = p
@@ -301,11 +345,15 @@ func (s *Simulation) Cancel(e Event) {
 	if slot.gen != e.gen {
 		return
 	}
+	if s.nshards > 0 {
+		s.shardCancel(e.slot, slot)
+		return
+	}
 	switch {
 	case slot.heapIdx >= 0:
 		s.heapRemove(slot.heapIdx)
 	case slot.bucket >= 0:
-		s.bucketRemove(e.slot)
+		s.bucketRemove(s.wheel, e.slot)
 	default:
 		return
 	}
@@ -318,6 +366,9 @@ func (s *Simulation) Cancel(e Event) {
 // Step executes the single next event. It returns false when the calendar
 // is empty.
 func (s *Simulation) Step() bool {
+	if s.nshards > 0 {
+		return s.shardStep()
+	}
 	if !s.peek() {
 		return false
 	}
@@ -365,6 +416,10 @@ func (s *Simulation) Halted() bool { return s.halted }
 // Run executes events until the calendar is empty — or, with a stop check
 // installed, until the check reports the run should halt.
 func (s *Simulation) Run() {
+	if s.nshards > 0 {
+		s.runSharded()
+		return
+	}
 	if s.stopCheck == nil && !s.halted {
 		for s.Step() {
 		}
@@ -380,6 +435,19 @@ func (s *Simulation) Run() {
 // RunUntil executes events whose time is ≤ horizon, then advances the clock
 // to horizon. Events scheduled beyond the horizon remain in the calendar.
 func (s *Simulation) RunUntil(horizon Time) {
+	if s.nshards > 0 {
+		for {
+			_, idx := s.shardMin()
+			if idx < 0 || s.events[idx].time > horizon {
+				break
+			}
+			s.shardStep()
+		}
+		if s.now < horizon {
+			s.now = horizon
+		}
+		return
+	}
 	for s.peek() && s.events[s.heap[0]].time <= horizon {
 		s.Step()
 	}
@@ -391,80 +459,93 @@ func (s *Simulation) RunUntil(horizon Time) {
 // RunFor executes events for d units of simulated time from now.
 func (s *Simulation) RunFor(d Time) { s.RunUntil(s.now + d) }
 
-// --- event calendar: binary min-heap of slot indices, ordered (time, seq) ---
+// --- event calendar: binary min-heaps of slot indices, ordered (time, seq) ---
+//
+// The heap functions take the heap slice explicitly because one arena can
+// feed several heaps at once: the classic calendar's s.heap, each shard's
+// ready heap, and the merge overlay. A slot's heapIdx is its position in
+// whichever single heap currently holds it.
 
-func (s *Simulation) less(i, j int) bool {
-	a, b := &s.events[s.heap[i]], &s.events[s.heap[j]]
-	if a.time != b.time {
-		return a.time < b.time
+// slotLess orders two arena slots by (time, seq) — the kernel's one and
+// only firing order.
+func (s *Simulation) slotLess(a, b int32) bool {
+	x, y := &s.events[a], &s.events[b]
+	if x.time != y.time {
+		return x.time < y.time
 	}
-	return a.seq < b.seq
+	return x.seq < y.seq
 }
 
-func (s *Simulation) swap(i, j int) {
-	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
-	s.events[s.heap[i]].heapIdx = int32(i)
-	s.events[s.heap[j]].heapIdx = int32(j)
+func (s *Simulation) hSwap(h []int32, i, j int) {
+	h[i], h[j] = h[j], h[i]
+	s.events[h[i]].heapIdx = int32(i)
+	s.events[h[j]].heapIdx = int32(j)
 }
 
-func (s *Simulation) heapPush(idx int32) {
-	s.events[idx].heapIdx = int32(len(s.heap))
-	s.heap = append(s.heap, idx)
-	s.up(len(s.heap) - 1)
+func (s *Simulation) hPush(h *[]int32, idx int32) {
+	s.events[idx].heapIdx = int32(len(*h))
+	*h = append(*h, idx)
+	s.hUp(*h, len(*h)-1)
 }
 
-// heapPop removes and returns the root slot index.
-func (s *Simulation) heapPop() int32 {
-	idx := s.heap[0]
-	last := len(s.heap) - 1
-	s.swap(0, last)
-	s.heap = s.heap[:last]
+// hPop removes and returns the root slot index.
+func (s *Simulation) hPop(h *[]int32) int32 {
+	idx := (*h)[0]
+	last := len(*h) - 1
+	s.hSwap(*h, 0, last)
+	*h = (*h)[:last]
 	if last > 0 {
-		s.down(0)
+		s.hDown(*h, 0)
 	}
 	s.events[idx].heapIdx = -1
 	return idx
 }
 
-// heapRemove removes the slot at heap position i.
-func (s *Simulation) heapRemove(i int32) {
-	idx := s.heap[i]
-	last := len(s.heap) - 1
-	s.swap(int(i), last)
-	s.heap = s.heap[:last]
+// hRemove removes the slot at heap position i.
+func (s *Simulation) hRemove(h *[]int32, i int32) {
+	idx := (*h)[i]
+	last := len(*h) - 1
+	s.hSwap(*h, int(i), last)
+	*h = (*h)[:last]
 	if int(i) < last {
-		s.down(int(i))
-		s.up(int(i))
+		s.hDown(*h, int(i))
+		s.hUp(*h, int(i))
 	}
 	s.events[idx].heapIdx = -1
 }
 
-func (s *Simulation) up(i int) {
+func (s *Simulation) hUp(h []int32, i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !s.less(i, parent) {
+		if !s.slotLess(h[i], h[parent]) {
 			break
 		}
-		s.swap(i, parent)
+		s.hSwap(h, i, parent)
 		i = parent
 	}
 }
 
-func (s *Simulation) down(i int) {
-	n := len(s.heap)
+func (s *Simulation) hDown(h []int32, i int) {
+	n := len(h)
 	for {
 		l, r := 2*i+1, 2*i+2
 		smallest := i
-		if l < n && s.less(l, smallest) {
+		if l < n && s.slotLess(h[l], h[smallest]) {
 			smallest = l
 		}
-		if r < n && s.less(r, smallest) {
+		if r < n && s.slotLess(h[r], h[smallest]) {
 			smallest = r
 		}
 		if smallest == i {
 			return
 		}
-		s.swap(i, smallest)
+		s.hSwap(h, i, smallest)
 		i = smallest
 	}
 }
+
+// The classic calendar's heap, as thin wrappers.
+
+func (s *Simulation) heapPush(idx int32) { s.hPush(&s.heap, idx) }
+func (s *Simulation) heapPop() int32     { return s.hPop(&s.heap) }
+func (s *Simulation) heapRemove(i int32) { s.hRemove(&s.heap, i) }

@@ -1,0 +1,109 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// sameModuloImbalance compares two point results after zeroing the
+// ShardImbalance sample: it describes the execution schedule (how evenly
+// events landed on shards), not the model, so it is the one Result field
+// allowed to differ across shard counts.
+func sameModuloImbalance(a, b *PointResult) bool {
+	ac, bc := *a, *b
+	if ac.Result != nil {
+		r := *ac.Result
+		r.ShardImbalance = stats.Sample{}
+		ac.Result = &r
+	}
+	if bc.Result != nil {
+		r := *bc.Result
+		r.ShardImbalance = stats.Sample{}
+		bc.Result = &r
+	}
+	return samePointResult(&ac, &bc)
+}
+
+// TestShardedResumeByteIdentical proves checkpointed sharded campaigns stay
+// byte-identical across shard counts: a journal written while running with
+// ShardWorkers=1 is resumed with ShardWorkers=4 (and vice versa), and the
+// merged result — every Welford accumulator and the rendered CSV — matches
+// an uninterrupted unsharded run bit for bit. This also pins the journal
+// fingerprint rule: ShardWorkers is an execution knob, not an experiment
+// parameter, so changing it between sessions must not invalidate a journal.
+func TestShardedResumeByteIdentical(t *testing.T) {
+	s := robustGrid(t)
+	s.Metrics = []Metric{IOs, HitPct, RespMs, ThroughputTPS}
+	base := Options{Replications: 3, Seed: 2026}
+
+	want, err := s.Run(base) // unsharded, uninterrupted baseline
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCSV := want.CSV()
+
+	for _, hop := range []struct {
+		name          string
+		write, resume int
+	}{
+		{"sw1-to-sw4", 1, 4},
+		{"sw4-to-sw1", 4, 1},
+	} {
+		t.Run(hop.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "shard.jsonl")
+			wo := base
+			wo.ShardWorkers = hop.write
+			j, err := s.StartJournal(path, wo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			wo.Journal = j
+			done := 0
+			wo.Progress = func(string) {
+				done++
+				if done == 2 {
+					cancel()
+				}
+			}
+			if _, err := s.RunContext(ctx, wo); !errors.Is(err, context.Canceled) {
+				t.Fatalf("interrupted run returned %v, want context.Canceled", err)
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			ro := base
+			ro.ShardWorkers = hop.resume
+			j2, data, err := s.ResumeJournal(path, ro)
+			if err != nil {
+				t.Fatalf("journal written at ShardWorkers=%d rejected at ShardWorkers=%d: %v",
+					hop.write, hop.resume, err)
+			}
+			if data.Len() != 2 {
+				t.Fatalf("journal replays %d cells, want 2", data.Len())
+			}
+			ro.Journal, ro.Resume = j2, data
+			got, err := s.RunContext(context.Background(), ro)
+			if cerr := j2.Close(); cerr != nil {
+				t.Fatal(cerr)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want.Points {
+				if !sameModuloImbalance(&got.Points[i], &want.Points[i]) {
+					t.Fatalf("cell %d of %s resume diverged from unsharded run", i, hop.name)
+				}
+			}
+			if csv := got.CSV(); csv != wantCSV {
+				t.Fatalf("%s resumed CSV differs from unsharded run:\n%s\n%s", hop.name, csv, wantCSV)
+			}
+		})
+	}
+}

@@ -182,6 +182,11 @@ type Options struct {
 	// to the given peak depth (and, past sim.WheelAutoThreshold, flips
 	// AutoCalendar cells onto the timing wheel).
 	CalendarHint int
+	// ShardWorkers, when positive, shards every cell's replications across
+	// that many kernel workers (overriding the cell's Config; see
+	// core.Config.ShardWorkers). Results are bit-identical at every value;
+	// it composes with Workers, which parallelizes across replications.
+	ShardWorkers int
 	// Progress, when non-nil, receives one line per completed point.
 	Progress func(string)
 
@@ -716,6 +721,9 @@ func (s *Sweep) runCellOnce(ctx context.Context, o Options, axes []Axis, coords 
 	if o.CalendarHint > 0 {
 		cfg.CalendarHint = o.CalendarHint
 	}
+	if o.ShardWorkers > 0 {
+		cfg.ShardWorkers = o.ShardWorkers
+	}
 	var base func(rep int, seed uint64) (*ocb.Database, error)
 	if bases != nil {
 		if base, err = bases.forCell(coords); err != nil {
@@ -768,17 +776,20 @@ func (s *Sweep) runCellOnce(ctx context.Context, o Options, axes []Axis, coords 
 // fingerprint hashes everything that determines the sweep's numeric
 // results — the spec identity (name, protocol, axes, points with their
 // seed deltas, base Config/Params) and the result-affecting options
-// (replications, seed, confidence, ShareBases). Workers, Calendar, and the
-// fault-tolerance knobs are deliberately excluded: results are
+// (replications, seed, confidence, ShareBases). Workers, Calendar,
+// ShardWorkers, and the fault-tolerance knobs are deliberately excluded
+// (Config.ShardWorkers is zeroed in the hashed copy): results are
 // bit-identical across them, so a journal written at -workers 4 on the
-// heap calendar resumes cleanly at -workers 1 on the wheel. Point.Apply
+// heap calendar resumes cleanly at -workers 1 on the wheel — or sharded. Point.Apply
 // closures cannot be hashed; axes built from the parameter registry are
 // identified by axis name + point labels, which pin the registry mutation.
 func (s *Sweep) fingerprint(o Options, axes []Axis, metrics []Metric) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "%s v%d\n", journalKind, journalVersion)
 	fmt.Fprintf(h, "name=%s proto=%d tx=%d depth=%d\n", s.Name, s.Protocol, s.transactions(), s.depth())
-	fmt.Fprintf(h, "cfg=%+v\n", s.Config)
+	cfgFP := s.Config
+	cfgFP.ShardWorkers = 0
+	fmt.Fprintf(h, "cfg=%+v\n", cfgFP)
 	fmt.Fprintf(h, "params=%+v\n", s.Params)
 	fmt.Fprintf(h, "reps=%d seed=%d conf=%g share=%t\n", o.reps(), o.Seed, o.confidence(), o.ShareBases)
 	for _, ax := range axes {

@@ -23,38 +23,45 @@ case "$WORKERS" in
   ''|*[!0-9]*) echo "FIG_WORKERS must be a non-negative integer, got '$WORKERS'" >&2; exit 1;;
 esac
 export FIG_WORKERS="$WORKERS"
-GOMAXPROCS_EFF="${GOMAXPROCS:-$(nproc 2>/dev/null || echo unknown)}"
+# Real core count of the machine, recorded in the JSON: the sharded-kernel
+# series (BenchmarkShardedScale, BenchmarkFig6Sharded) only shows speedups
+# when cores > 1, so trajectory readers need this to interpret ns/op.
+CORES="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo unknown)"
+GOMAXPROCS_EFF="${GOMAXPROCS:-$CORES}"
 
 {
   go test -run '^$' -bench 'BenchmarkScheduleStep|BenchmarkScheduleCancel|BenchmarkScheduleRun' -benchmem ./internal/sim/
   go test -run '^$' -bench 'BenchmarkWheelScheduleStep|BenchmarkWheelScheduleCancel' -benchmem ./internal/sim/
   go test -run '^$' -bench 'BenchmarkCalendarScale' -benchmem ./internal/sim/
+  go test -run '^$' -bench 'BenchmarkShardedScale' -benchmem ./internal/sim/
   go test -run '^$' -bench 'BenchmarkAcquireReleaseCycle|BenchmarkAcquireConflictDispatch|BenchmarkReleaseAllWide' -benchmem ./internal/lock/
   go test -run '^$' -bench 'BenchmarkTxnSubmitCommit' -benchmem ./internal/core/
   go test -run '^$' -bench 'BenchmarkOCBGenerate' -benchmem ./internal/ocb/
-  go test -run '^$' -bench 'BenchmarkFig6' -benchtime "${FIG_BENCHTIME:-1x}" -benchmem .
+  go test -run '^$' -bench 'BenchmarkFig6|BenchmarkLargeMPLSharded' -benchtime "${FIG_BENCHTIME:-1x}" -benchmem .
 } | tee "$TMP"
 
 awk -v date="$(date +%Y-%m-%d)" \
     -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
-    -v cores="$(nproc 2>/dev/null || echo unknown)" \
+    -v cores="$CORES" \
     -v gomaxprocs="$GOMAXPROCS_EFF" \
     -v workers="$WORKERS" '
 /^Benchmark/ {
   name = $1; sub(/-[0-9]+$/, "", name)
   iters = $2; ns = $3
-  bop = ""; aop = ""; ios = ""; peak = ""
+  bop = ""; aop = ""; ios = ""; peak = ""; imb = ""
   for (i = 4; i <= NF; i++) {
     if ($(i) == "B/op") bop = $(i - 1)
     else if ($(i) == "allocs/op") aop = $(i - 1)
-    else if ($(i) == "ios/point" || $(i) == "headline") ios = $(i - 1)
+    else if ($(i) == "ios/point" || $(i) == "headline" || $(i) == "ios") ios = $(i - 1)
     else if ($(i) == "peakcal") peak = $(i - 1)
+    else if ($(i) == "shardimb") imb = $(i - 1)
   }
   line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
   if (bop != "") line = line sprintf(", \"bytes_per_op\": %s", bop)
   if (aop != "") line = line sprintf(", \"allocs_per_op\": %s", aop)
   if (ios != "") line = line sprintf(", \"ios_per_point\": %s", ios)
   if (peak != "") line = line sprintf(", \"peak_calendar_depth\": %s", peak)
+  if (imb != "") line = line sprintf(", \"peak_shard_imbalance\": %s", imb)
   lines[n++] = line "}"
 }
 END {

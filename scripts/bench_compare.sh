@@ -14,7 +14,9 @@ THRESHOLD_PCT="${THRESHOLD_PCT:-10}"
 GUARDED="${GUARDED:-BenchmarkScheduleStep BenchmarkScheduleCancel BenchmarkScheduleRun \
 BenchmarkWheelScheduleStep BenchmarkWheelScheduleCancel BenchmarkReleaseAllWide \
 BenchmarkAcquireReleaseCycle BenchmarkAcquireConflictDispatch BenchmarkTxnSubmitCommit \
-BenchmarkOCBGenerate BenchmarkOCBGenerateInto BenchmarkFig6_O2Instances20}"
+BenchmarkOCBGenerate BenchmarkOCBGenerateInto BenchmarkFig6_O2Instances20 \
+BenchmarkFig6Sharded/shards1 BenchmarkFig6Sharded/shards2 BenchmarkFig6Sharded/shards4 \
+BenchmarkShardedScale/heap/shards1/pending100000 BenchmarkShardedScale/heap/shards4/pending100000}"
 
 if [ "$#" -eq 2 ]; then
   OLD="$1"; NEW="$2"
@@ -30,8 +32,9 @@ fi
 echo "bench_compare: $OLD -> $NEW (allocs/op threshold +${THRESHOLD_PCT}%)"
 
 # alloc_of <file> <benchmark> — print allocs_per_op, or nothing if absent.
+# Uses | as the sed delimiter: sub-benchmark names contain slashes.
 alloc_of() {
-  sed -n 's/.*"name": "'"$2"'".*"allocs_per_op": \([0-9][0-9]*\).*/\1/p' "$1" | head -n1
+  sed -n 's|.*"name": "'"$2"'".*"allocs_per_op": \([0-9][0-9]*\).*|\1|p' "$1" | head -n1
 }
 
 fail=0

@@ -121,6 +121,10 @@ const (
 	WheelCalendar = sim.WheelCalendar
 	// WheelAutoThreshold is the AutoCalendar switch-over hint.
 	WheelAutoThreshold = sim.WheelAutoThreshold
+	// MaxShardWorkers caps Config.ShardWorkers, the sharded-kernel worker
+	// count for a single replication. Results are bit-identical at every
+	// shard count; sharding composes with replication-level Workers.
+	MaxShardWorkers = sim.MaxShardWorkers
 )
 
 // WorkloadParams is the OCB benchmark parameter set.
@@ -312,6 +316,9 @@ const (
 	MetricNetBytes    = sweep.NetBytes
 	MetricLockWaits   = sweep.LockWaits
 	MetricReorgIOs    = sweep.ReorgIOs
+	// MetricShardImbalance charts the sharded kernel's load balance
+	// (max/mean events per shard; 1 when unsharded).
+	MetricShardImbalance = sweep.ShardImbalance
 
 	MetricPreIOs        = sweep.PreIOs
 	MetricOverheadIOs   = sweep.OverheadIOs
