@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test verify vet race bench bench-compare
+.PHONY: all build test verify vet race bench bench-compare clean
 
 all: verify
 
@@ -29,3 +29,9 @@ bench: verify vet
 # allocs/op regression in any guarded benchmark (see scripts/bench_compare.sh).
 bench-compare:
 	./scripts/bench_compare.sh
+
+# Remove build leftovers: compiled test binaries (`go test -c` output) and
+# pprof profiles from -cpuprofile/-memprofile runs.
+clean:
+	rm -f ./*.test ./cmd/*/*.test ./internal/*/*.test
+	rm -f ./*.pprof ./cpu.prof ./mem.prof

@@ -118,6 +118,48 @@ func BenchmarkLargeMPLSharded(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamMillionObjects is the tentpole's headline run: a Fig6-style
+// O₂ experiment on a 1,000,000-object base, eager-v2 versus streaming
+// layout. Both produce bit-identical simulated results (pinned by
+// TestLargeStreamingSmoke); the series tracks end-to-end time plus the
+// resident object-base footprint (dbbytes, bytes/obj) — eager-v2 carries
+// tens of MB, streaming a few hundred KB regardless of NO.
+func BenchmarkStreamMillionObjects(b *testing.B) {
+	layouts := []struct {
+		name   string
+		layout voodb.Layout
+	}{{"eagerv2", voodb.LayoutEagerV2}, {"stream", voodb.LayoutStream}}
+	for _, l := range layouts {
+		b.Run(l.name, func(b *testing.B) {
+			cfg := voodb.O2()
+			cfg.BufferPages = 2048
+			params := voodb.DefaultWorkload()
+			params.NC = 50
+			params.NO = 1_000_000
+			params.HotN = 500
+			params.HotRootCount = 1000
+			params.Layout = l.layout
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := voodb.Experiment{
+					Config: cfg, Params: params, Seed: 3, Replications: 1,
+				}.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.IOs.Mean(), "ios")
+			}
+			b.StopTimer()
+			db, err := voodb.GenerateDatabase(params, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(db.ResidentBytes()), "dbbytes")
+			b.ReportMetric(float64(db.ResidentBytes())/float64(params.NO), "bytes/obj")
+		})
+	}
+}
+
 func BenchmarkFig6_O2Instances20(b *testing.B)    { benchFigure(b, "fig6", paper.Fig6) }
 func BenchmarkFig7_O2Instances50(b *testing.B)    { benchFigure(b, "fig7", paper.Fig7) }
 func BenchmarkFig8_O2CacheSize(b *testing.B)      { benchFigure(b, "fig8", paper.Fig8) }

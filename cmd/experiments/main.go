@@ -8,8 +8,14 @@
 //	experiments [-run fig6|…|table8|all] [-reps N] [-seed S] [-workers W]
 //	            [-share-bases] [-csv] [-chart]
 //	experiments -sweep param=lo:hi:step [-sweep param=A,B,…] [-metrics ios,resp,…]
-//	            [-system default|o2|texas] [-no N] [-nc N] [-hotn N] …
+//	            [-system default|o2|texas] [-no N] [-nc N] [-hotn N]
+//	            [-db-layout eager|eagerv2|stream] …
 //	experiments -sweep-params
+//
+// -db-layout stream generates the object base on demand behind a bounded
+// cache (O(hot-set) resident memory; bit-identical to eagerv2), enabling
+// million-object -no values. -cpuprofile/-memprofile write pprof profiles
+// for the whole run (see PERFORMANCE.md).
 //
 // The -sweep form compiles a declarative voodb.Sweep from the flag set: a
 // base system configuration (-system, workload sizing via -no/-nc/-hotn),
@@ -31,7 +37,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -68,6 +77,12 @@ func main() {
 		"event-calendar pre-size hint: expected pending-event peak (0 = derive from MPL/users)")
 	shardWorkers := flag.Int("shard-workers", 0,
 		"shard each replication's event calendar across this many kernel workers (bit-identical results at every value; composes with -workers; 0/1 = unsharded)")
+	dbLayout := flag.String("db-layout", "eager",
+		"object-base generation layout: eager (legacy, fully materialized), eagerv2 or stream (on-demand materialization, O(hot-set) resident memory — use for million-object -no runs)")
+	cpuprofile := flag.String("cpuprofile", "",
+		"write a CPU profile of the whole run to this file (inspect with go tool pprof)")
+	memprofile := flag.String("memprofile", "",
+		"write an allocation profile at exit to this file (inspect with go tool pprof)")
 
 	journalPath := flag.String("journal", "",
 		"write a resumable JSONL checkpoint of completed sweep cells to this file (-sweep mode)")
@@ -143,6 +158,21 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	layout, err := parseLayout(*dbLayout)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Profiles are opened (and the CPU profile started) before any
+	// simulation, so an unwritable path fails immediately; every exit path
+	// — normal return, fatal(), the explicit os.Exit calls after an
+	// interrupted sweep — flushes them through stopProfiles.
+	stop, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	stopProfiles = stop
+	defer stop()
 
 	// Graceful shutdown: SIGINT/SIGTERM cancel the run cooperatively — the
 	// current cells stop at their next replication boundary or kernel stop
@@ -158,6 +188,7 @@ func main() {
 			no: *no, nc: *nc, hotn: *hotn,
 			reps: *reps, seed: *seed, workers: *workers, shareBases: *shareBases,
 			calendar: calKind, calhint: *calhint, shardWorkers: *shardWorkers,
+			layout: layout,
 			journal: *journalPath, resume: *resumePath,
 			policy: policy, retries: *retries, cellTimeout: *cellTimeout,
 			csv: *csv, chart: *chart, progress: progress,
@@ -167,9 +198,9 @@ func main() {
 
 	opts := experiments.Options{Replications: *reps, Seed: *seed, Workers: *workers,
 		ShareBases: *shareBases, Calendar: calKind, CalendarHint: *calhint,
-		ShardWorkers: *shardWorkers,
-		Progress:     progress,
-		Policy:       policy, Retries: *retries, CellTimeout: *cellTimeout}
+		ShardWorkers: *shardWorkers, DBLayout: layout,
+		Progress: progress,
+		Policy:   policy, Retries: *retries, CellTimeout: *cellTimeout}
 	ids := experiments.Names()
 	if *run != "all" {
 		ids = strings.Split(*run, ",")
@@ -209,6 +240,71 @@ func parseCalendar(name string) (voodb.CalendarKind, error) {
 	}
 }
 
+// parseLayout reads the -db-layout flag value.
+func parseLayout(name string) (voodb.Layout, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "eager":
+		return voodb.LayoutEager, nil
+	case "eagerv2":
+		return voodb.LayoutEagerV2, nil
+	case "stream":
+		return voodb.LayoutStream, nil
+	default:
+		return voodb.LayoutEager, fmt.Errorf("unknown -db-layout %q (eager|eagerv2|stream)", name)
+	}
+}
+
+// stopProfiles flushes any active -cpuprofile/-memprofile outputs. It is a
+// package variable because fatal() and the post-sweep os.Exit calls bypass
+// main's defer; startProfiles makes it idempotent.
+var stopProfiles = func() {}
+
+// startProfiles opens the requested profile outputs and starts the CPU
+// profile, returning the idempotent flush function. Both files are created
+// up front so path errors surface before any simulation runs.
+func startProfiles(cpu, mem string) (func(), error) {
+	var cpuF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		cpuF = f
+	}
+	var memF *os.File
+	if mem != "" {
+		f, err := os.Create(mem)
+		if err != nil {
+			if cpuF != nil {
+				pprof.StopCPUProfile()
+				cpuF.Close()
+			}
+			return nil, fmt.Errorf("-memprofile: %w", err)
+		}
+		memF = f
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			if cpuF != nil {
+				pprof.StopCPUProfile()
+				cpuF.Close()
+			}
+			if memF != nil {
+				runtime.GC() // settle live-heap accounting before the snapshot
+				if err := pprof.Lookup("allocs").WriteTo(memF, 0); err != nil {
+					fmt.Fprintln(os.Stderr, "experiments: -memprofile:", err)
+				}
+				memF.Close()
+			}
+		})
+	}, nil
+}
+
 // userSweepFlags carries the -sweep mode's flag values.
 type userSweepFlags struct {
 	axes            []string
@@ -221,6 +317,7 @@ type userSweepFlags struct {
 	calendar        voodb.CalendarKind
 	calhint         int
 	shardWorkers    int
+	layout          voodb.Layout
 	journal, resume string
 	policy          voodb.SweepFailurePolicy
 	retries         int
@@ -289,6 +386,7 @@ func runUserSweep(ctx context.Context, f userSweepFlags) {
 		Calendar:     f.calendar,
 		CalendarHint: f.calhint,
 		ShardWorkers: f.shardWorkers,
+		DBLayout:     f.layout,
 		Progress:     f.progress,
 		Policy:       f.policy,
 		Retries:      f.retries,
@@ -364,6 +462,7 @@ func runUserSweep(ctx context.Context, f userSweepFlags) {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
+		stopProfiles()
 		if errors.Is(err, context.Canceled) {
 			os.Exit(130) // interrupted by signal
 		}
@@ -448,5 +547,6 @@ func emit(t *report.Table, csv bool) {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "experiments:", err)
+	stopProfiles()
 	os.Exit(1)
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/buffer"
 	"repro/internal/cluster"
 	"repro/internal/disk"
@@ -58,6 +60,12 @@ type Run struct {
 func NewRun(cfg Config, db *ocb.Database, seed uint64) (*Run, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if db.Streaming() && cfg.Clustering != NoClustering {
+		// A streaming base derives placement arithmetically from the class
+		// extents; there is no per-object directory for a reorganization to
+		// rewrite. Run clustering studies on an eager layout.
+		return nil, fmt.Errorf("core: clustering (%v) requires an eager object base, got streaming layout", cfg.Clustering)
 	}
 	st, err := storage.New(db, storage.Config{
 		PageSize:     cfg.PageSize,

@@ -326,7 +326,7 @@ func (e *txnExec) step() {
 
 		case stTreatment:
 			if r.cfg.System == ObjectServer && !r.net.IsFree() {
-				size := int(r.db.Objects[e.tx.Ops[e.opIdx].Object()].Size)
+				size := int(r.db.SizeOf(e.tx.Ops[e.opIdx].Object()))
 				e.state = stCPU
 				r.after(r.net.TransferTime(size), e.cont)
 				return

@@ -120,6 +120,12 @@ type Options struct {
 	// core.Config.ShardWorkers). Results are bit-identical at every value
 	// (pinned by the sharded golden tests); it composes with Workers.
 	ShardWorkers int
+	// DBLayout, when not ocb.LayoutEager, forces every point's object
+	// bases onto the given generation layout (see ocb.Params.Layout).
+	// LayoutStream keeps resident object-base memory O(hot-set + classes),
+	// enabling million-object reproductions; it is bit-identical to
+	// LayoutEagerV2 but not to the legacy eager derivation.
+	DBLayout ocb.Layout
 	// Progress, when non-nil, receives one line per completed point.
 	Progress func(string)
 	// Policy, Retries, RetryBackoff and CellTimeout configure the sweep
@@ -154,6 +160,7 @@ func (o Options) sweepOptions() sweep.Options {
 		Calendar:     o.Calendar,
 		CalendarHint: o.CalendarHint,
 		ShardWorkers: o.ShardWorkers,
+		DBLayout:     o.DBLayout,
 		Progress:     o.Progress,
 		Policy:       o.Policy,
 		Retries:      o.Retries,

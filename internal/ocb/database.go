@@ -69,6 +69,14 @@ type Database struct {
 	refSrc        rng.Source
 	classZipf     zipfCache
 	objZipf       zipfCache
+
+	// Layout v2 state (see layoutv2.go): classStart holds the prefix-sum
+	// OID ranges of the class-contiguous assignment (len NC+1, empty on a
+	// v1 base), hotSet is the Floyd-sampling scratch, and stream is the
+	// on-demand backend — non-nil exactly for LayoutStream bases.
+	classStart []OID
+	hotSet     map[OID]struct{}
+	stream     *streamBase
 }
 
 // zipfCache memoizes a Zipf sampler keyed by its support and skew. The cdf
@@ -121,42 +129,19 @@ func GenerateInto(db *Database, p Params, seed uint64) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
+	if p.Layout != LayoutEager {
+		return generateV2(db, p, seed)
+	}
 	classSrc, objSrc, refSrc := &db.classSrc, &db.objSrc, &db.refSrc
 	classSrc.Reinit(rng.SubSeed(seed, 1))
 	objSrc.Reinit(rng.SubSeed(seed, 2))
 	refSrc.Reinit(rng.SubSeed(seed, 3))
 
 	db.Params = p
+	db.stream = nil
+	db.classStart = db.classStart[:0] // v1 OIDs are not class-contiguous
 
-	// --- schema ---
-	// Per-class reference lists are carved from one arena sized to the
-	// NC·MaxNRef upper bound, so carving never reallocates mid-loop (the
-	// nrefs draws interleave with the other schema draws).
-	db.Classes = grown(db.Classes, p.NC)
-	maxClassRefs := p.NC * p.MaxNRef
-	if cap(db.classRefArena) < maxClassRefs {
-		db.classRefArena = make([]ClassRef, 0, maxClassRefs)
-	} else {
-		db.classRefArena = db.classRefArena[:0]
-	}
-	var classZipf *rng.Zipf
-	if p.ClassRefDist == Zipf {
-		classZipf = db.classZipf.get(classSrc, p.NC, p.ZipfTheta)
-	}
-	for i := range db.Classes {
-		c := &db.Classes[i]
-		c.ID = i
-		c.InstanceSize = p.BaseSize * classSrc.IntRange(1, p.SizeMult)
-		nrefs := classSrc.IntRange(1, p.MaxNRef)
-		start := len(db.classRefArena)
-		for r := 0; r < nrefs; r++ {
-			db.classRefArena = append(db.classRefArena, ClassRef{
-				Target: pickClass(classSrc, classZipf, p, i),
-				Type:   pickRefType(classSrc, p),
-			})
-		}
-		c.Refs = db.classRefArena[start:len(db.classRefArena):len(db.classRefArena)]
-	}
+	db.generateSchema(p, classSrc)
 
 	// --- instances ---
 	// ByClass is carved out of one backing arena: a first pass assigns
@@ -232,6 +217,39 @@ func GenerateInto(db *Database, p Params, seed uint64) error {
 		}
 	}
 	return nil
+}
+
+// generateSchema draws the NC-class schema from classSrc — shared verbatim
+// by the v1 and v2 layouts, which consume the class stream identically.
+// Per-class reference lists are carved from one arena sized to the
+// NC·MaxNRef upper bound, so carving never reallocates mid-loop (the
+// nrefs draws interleave with the other schema draws).
+func (db *Database) generateSchema(p Params, classSrc *rng.Source) {
+	db.Classes = grown(db.Classes, p.NC)
+	maxClassRefs := p.NC * p.MaxNRef
+	if cap(db.classRefArena) < maxClassRefs {
+		db.classRefArena = make([]ClassRef, 0, maxClassRefs)
+	} else {
+		db.classRefArena = db.classRefArena[:0]
+	}
+	var classZipf *rng.Zipf
+	if p.ClassRefDist == Zipf {
+		classZipf = db.classZipf.get(classSrc, p.NC, p.ZipfTheta)
+	}
+	for i := range db.Classes {
+		c := &db.Classes[i]
+		c.ID = i
+		c.InstanceSize = p.BaseSize * classSrc.IntRange(1, p.SizeMult)
+		nrefs := classSrc.IntRange(1, p.MaxNRef)
+		start := len(db.classRefArena)
+		for r := 0; r < nrefs; r++ {
+			db.classRefArena = append(db.classRefArena, ClassRef{
+				Target: pickClass(classSrc, classZipf, p, i),
+				Type:   pickRefType(classSrc, p),
+			})
+		}
+		c.Refs = db.classRefArena[start:len(db.classRefArena):len(db.classRefArena)]
+	}
 }
 
 // pickRefType draws a reference type, biasing type 0 (hierarchy) when
@@ -324,8 +342,16 @@ func rankWithin(list []OID, o OID) int {
 }
 
 // TotalBytes returns the sum of all instance sizes (the logical base size,
-// before any storage overhead).
+// before any storage overhead). On a streaming base it is computed from the
+// per-class counts in O(classes).
 func (db *Database) TotalBytes() int64 {
+	if db.stream != nil {
+		var total int64
+		for c := range db.Classes {
+			total += int64(db.Classes[c].InstanceSize) * int64(db.ClassCount(c))
+		}
+		return total
+	}
 	var total int64
 	for i := range db.Objects {
 		total += int64(db.Objects[i].Size)
@@ -335,6 +361,13 @@ func (db *Database) TotalBytes() int64 {
 
 // AvgRefs returns the mean number of declared references per object.
 func (db *Database) AvgRefs() float64 {
+	if db.stream != nil {
+		var total int
+		for c := range db.Classes {
+			total += len(db.Classes[c].Refs) * db.ClassCount(c)
+		}
+		return float64(total) / float64(db.NumObjects())
+	}
 	var total int
 	for i := range db.Objects {
 		total += len(db.Objects[i].Refs)
@@ -354,11 +387,13 @@ type Stats struct {
 	MaxClassSize int
 }
 
-// ComputeStats gathers Stats over the base.
+// ComputeStats gathers Stats over the base. On a streaming base the
+// NilRefs count derives every object once (O(NO) recomputation, O(1)
+// memory) — this is a reporting path, not a hot path.
 func (db *Database) ComputeStats() Stats {
 	s := Stats{
 		Classes:      len(db.Classes),
-		Objects:      len(db.Objects),
+		Objects:      db.NumObjects(),
 		TotalBytes:   db.TotalBytes(),
 		AvgRefs:      db.AvgRefs(),
 		MinClassSize: 1 << 30,
@@ -366,19 +401,20 @@ func (db *Database) ComputeStats() Stats {
 	if s.Objects > 0 {
 		s.AvgObjSize = float64(s.TotalBytes) / float64(s.Objects)
 	}
-	for i := range db.Objects {
-		for _, r := range db.Objects[i].Refs {
+	for o := 0; o < s.Objects; o++ {
+		for _, r := range db.RefsOf(OID(o)) {
 			if r == NilRef {
 				s.NilRefs++
 			}
 		}
 	}
-	for _, insts := range db.ByClass {
-		if len(insts) < s.MinClassSize {
-			s.MinClassSize = len(insts)
+	for c := 0; c < len(db.Classes); c++ {
+		n := db.ClassCount(c)
+		if n < s.MinClassSize {
+			s.MinClassSize = n
 		}
-		if len(insts) > s.MaxClassSize {
-			s.MaxClassSize = len(insts)
+		if n > s.MaxClassSize {
+			s.MaxClassSize = n
 		}
 	}
 	return s

@@ -39,6 +39,45 @@ func (d Dist) String() string {
 	}
 }
 
+// Layout selects the object-base generation scheme and residency model.
+//
+// The legacy sequential scheme (LayoutEager) is the default and the one
+// every hex-pinned golden is generated with: one RNG walk assigns classes
+// and references in OID order, so any object's attributes depend on every
+// draw before it and the whole base must be materialized. The counter-based
+// v2 scheme derives object i's references from an rng.SubSeed(seed, i)
+// chained stream instead, which makes derivation order-independent — the
+// same base can be materialized eagerly (LayoutEagerV2) or left virtual
+// behind a bounded cache (LayoutStream) with bit-identical contents.
+type Layout uint8
+
+const (
+	// LayoutEager is the legacy sequential generation scheme with a fully
+	// materialized base (the default; all paper goldens use it).
+	LayoutEager Layout = iota
+	// LayoutEagerV2 materializes the counter-based v2 scheme eagerly:
+	// O(objects + refs) resident, same contents as LayoutStream.
+	LayoutEagerV2
+	// LayoutStream keeps only the v2 index resident (per-class counts and
+	// prefix-sum OID ranges) and derives objects on demand through a small
+	// materialization cache: O(hot-set + classes) resident.
+	LayoutStream
+)
+
+// String returns the CLI name of the layout.
+func (l Layout) String() string {
+	switch l {
+	case LayoutEager:
+		return "eager"
+	case LayoutEagerV2:
+		return "eagerv2"
+	case LayoutStream:
+		return "stream"
+	default:
+		return fmt.Sprintf("Layout(%d)", l)
+	}
+}
+
 // TxType enumerates OCB's four transaction types (Table 5).
 type TxType uint8
 
@@ -116,6 +155,15 @@ type Params struct {
 	ObjectLocality int
 	// ZipfTheta is the skew used wherever a Dist is Zipf.
 	ZipfTheta float64
+	// Layout selects the generation scheme and residency model (ours; see
+	// the Layout constants and layoutv2.go). The zero value is the legacy
+	// eager scheme, so existing parameter sets are unaffected.
+	Layout Layout
+	// StreamCacheObjects bounds the LayoutStream materialization cache to
+	// roughly this many objects (rounded up to a power of two; 0 = default).
+	// It only trades recomputation for memory — simulation results are
+	// identical at every cache size.
+	StreamCacheObjects int
 
 	// --- workload parameters (Table 5) ---
 
@@ -236,6 +284,10 @@ func (p Params) Validate() error {
 		return fmt.Errorf("ocb: HotRootCount = %d outside [0, NO]", p.HotRootCount)
 	case p.SetDepth < 0 || p.SimDepth < 0 || p.HieDepth < 0 || p.StoDepth < 0:
 		return fmt.Errorf("ocb: negative traversal depth")
+	case p.Layout > LayoutStream:
+		return fmt.Errorf("ocb: unknown layout %d", p.Layout)
+	case p.StreamCacheObjects < 0:
+		return fmt.Errorf("ocb: StreamCacheObjects = %d, need ≥ 0", p.StreamCacheObjects)
 	}
 	total := p.PSet + p.PSimple + p.PHier + p.PStoch
 	if total <= 0 || math.Abs(total-1) > 1e-9 {

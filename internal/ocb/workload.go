@@ -119,6 +119,10 @@ type Generator struct {
 	scratch []Op
 	frontA  []OID
 	frontB  []OID
+	// refStack backs per-depth reference copies during depth-first walks
+	// over a streaming base, where a RefsOf result does not survive the
+	// nested derivations of the recursion. Unused on eager bases.
+	refStack []OID
 }
 
 // NewGenerator returns a workload generator for db using the database's
@@ -148,14 +152,14 @@ func (g *Generator) Reinit(db *Database, seed uint64) {
 		g.typeWts = wts
 	}
 	g.next = 0
-	if n := len(db.Objects); cap(g.visited) >= n {
+	if n := db.NumObjects(); cap(g.visited) >= n {
 		g.visited = g.visited[:n]
 	} else {
 		g.visited = make([]int, n)
 		g.epoch = 0
 	}
 	if p.RootDist == Zipf {
-		n := len(db.Objects)
+		n := db.NumObjects()
 		if len(db.HotRoots) > 0 {
 			n = len(db.HotRoots)
 		}
@@ -243,7 +247,7 @@ func (g *Generator) pickRoot() OID {
 	if g.rootZipf != nil {
 		return OID(g.rootZipf.Next())
 	}
-	return OID(g.src.Intn(len(g.db.Objects)))
+	return OID(g.src.Intn(g.db.NumObjects()))
 }
 
 func (g *Generator) beginVisit() {
@@ -269,7 +273,7 @@ func (g *Generator) breadthFirst(root OID, depth int) {
 	for level := 0; level < depth && len(frontier) > 0; level++ {
 		next = next[:0]
 		for _, o := range frontier {
-			for _, t := range g.db.Objects[o].Refs {
+			for _, t := range g.db.RefsOf(o) {
 				if t == NilRef || g.seen(t) {
 					continue
 				}
@@ -298,9 +302,20 @@ func (g *Generator) dfWalk(o OID, remaining int, hierarchyOnly bool) {
 	if remaining == 0 {
 		return
 	}
-	obj := &g.db.Objects[o]
-	classRefs := g.db.Classes[obj.Class].Refs
-	for r, t := range obj.Refs {
+	refs := g.db.RefsOf(o)
+	classRefs := g.db.Classes[g.db.ClassOf(o)].Refs
+	base := -1
+	if g.db.Streaming() {
+		// A streaming RefsOf result is only valid until the next RefsOf on
+		// the same view, and the recursion below derives other objects.
+		// Stack this frame's refs in the shared scratch; a reallocation of
+		// refStack leaves outer frames reading their (still live) old
+		// backing array, which is fine — frames only read.
+		base = len(g.refStack)
+		g.refStack = append(g.refStack, refs...)
+		refs = g.refStack[base:len(g.refStack):len(g.refStack)]
+	}
+	for r, t := range refs {
 		if t == NilRef || g.seen(t) {
 			continue
 		}
@@ -308,6 +323,9 @@ func (g *Generator) dfWalk(o OID, remaining int, hierarchyOnly bool) {
 			continue
 		}
 		g.dfWalk(t, remaining-1, hierarchyOnly)
+	}
+	if base >= 0 {
+		g.refStack = g.refStack[:base]
 	}
 }
 
@@ -319,7 +337,9 @@ func (g *Generator) stochastic(root OID, depth int) {
 	g.scratch = append(g.scratch, g.op(root))
 	cur := root
 	for step := 0; step < depth; step++ {
-		refs := g.db.Objects[cur].Refs
+		// One RefsOf result is live at a time here, so the streaming
+		// cache-aliasing contract is respected without copying.
+		refs := g.db.RefsOf(cur)
 		// Collect non-nil candidates.
 		n := 0
 		for _, t := range refs {

@@ -53,6 +53,13 @@ func (r ReorgStats) TotalIOs() int {
 // cost of the move, including the reference-fixup scan when the store uses
 // physical OIDs.
 func (s *Store) Reorganize(clusters [][]ocb.OID) ReorgStats {
+	if s.stream {
+		// Streaming placement is derived arithmetically from the class
+		// extents; there is no per-object directory to rewrite. core.NewRun
+		// rejects clustering configurations on streaming bases before any
+		// simulation starts, so reaching this is a programming error.
+		panic("storage: Reorganize is not supported on a streaming object base")
+	}
 	var st ReorgStats
 	if len(clusters) == 0 {
 		return st

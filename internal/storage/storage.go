@@ -107,6 +107,13 @@ type Store struct {
 
 	// orderScratch backs initialOrder, recycled across Reset calls.
 	orderScratch []ocb.OID
+
+	// Streaming mode (see stream.go): when the database is a streaming
+	// base, placement is the O(classes) extent table instead of the
+	// per-object tables above, and objsScratch backs ObjectsOn results.
+	stream      bool
+	ext         []classExtent
+	objsScratch []ocb.OID
 }
 
 // New builds a store for db with the given configuration, laying objects
@@ -121,7 +128,12 @@ func New(db *ocb.Database, cfg Config) (*Store, error) {
 		firstPage: make([]disk.PageID, len(db.Objects)),
 		span:      make([]int32, len(db.Objects)),
 	}
-	s.place(s.initialOrder())
+	if db.Streaming() {
+		s.stream = true
+		s.placeStream()
+	} else {
+		s.place(s.initialOrder())
+	}
 	return s, nil
 }
 
@@ -144,7 +156,11 @@ func (s *Store) Reset(db *ocb.Database) {
 		s.span = make([]int32, n)
 	}
 	s.reorgs = 0
-	s.place(s.initialOrder())
+	if s.stream = db.Streaming(); s.stream {
+		s.placeStream()
+	} else {
+		s.place(s.initialOrder())
+	}
 }
 
 // initialOrder returns OIDs in the configured placement order, reusing the
@@ -170,12 +186,7 @@ func (s *Store) initialOrder() []ocb.OID {
 
 // effectiveSize returns the on-disk footprint of object o in bytes.
 func (s *Store) effectiveSize(o ocb.OID) int {
-	sz := float64(s.db.Objects[o].Size) * s.cfg.Overhead
-	e := int(math.Ceil(sz))
-	if e < 1 {
-		e = 1
-	}
-	return e
+	return s.effSize(int(s.db.SizeOf(o)))
 }
 
 // place lays objects out in the given order, first-fit into consecutive
@@ -273,17 +284,30 @@ func (s *Store) TotalBytes() int64 {
 
 // Pages returns the pages object o occupies: its first page and span.
 func (s *Store) Pages(o ocb.OID) (first disk.PageID, span int) {
+	if s.stream {
+		return s.streamPages(o)
+	}
 	return s.firstPage[o], int(s.span[o])
 }
 
 // PageOf returns the first page of object o.
-func (s *Store) PageOf(o ocb.OID) disk.PageID { return s.firstPage[o] }
+func (s *Store) PageOf(o ocb.OID) disk.PageID {
+	if s.stream {
+		p, _ := s.streamPages(o)
+		return p
+	}
+	return s.firstPage[o]
+}
 
 // ObjectsOn returns the objects whose first page is p (empty for pages
 // that only hold the tail of a spanning object). The returned slice views
-// the store's page directory; it is valid until the next Reset or
-// Reorganize.
+// the store's page directory and is valid until the next Reset or
+// Reorganize; on a streaming store it views a reused scratch and is only
+// valid until the next ObjectsOn call.
 func (s *Store) ObjectsOn(p disk.PageID) []ocb.OID {
+	if s.stream {
+		return s.streamObjectsOn(p)
+	}
 	if p < 0 || int(p) >= s.numPages {
 		return nil
 	}
@@ -302,11 +326,11 @@ func (s *Store) ReferencedPages(p disk.PageID) []disk.PageID {
 	s.beginVisit()
 	var out []disk.PageID
 	for _, o := range s.ObjectsOn(p) {
-		for _, t := range s.db.Objects[o].Refs {
+		for _, t := range s.db.RefsOf(o) {
 			if t == ocb.NilRef {
 				continue
 			}
-			tp := s.firstPage[t]
+			tp := s.PageOf(t)
 			if tp == p || s.seen(tp) {
 				continue
 			}
@@ -331,14 +355,14 @@ func (s *Store) ObjectRefPages(o ocb.OID) []disk.PageID {
 // recycled scratch sliced to length zero), so the per-object hot path of
 // the Texas reservation mechanism allocates nothing in steady state.
 func (s *Store) ObjectRefPagesInto(o ocb.OID, buf []disk.PageID) []disk.PageID {
-	own := s.firstPage[o]
+	own := s.PageOf(o)
 	s.beginVisit()
 	s.visited[own] = s.visitEpoch
-	for _, t := range s.db.Objects[o].Refs {
+	for _, t := range s.db.RefsOf(o) {
 		if t == ocb.NilRef {
 			continue
 		}
-		tp := s.firstPage[t]
+		tp := s.PageOf(t)
 		if s.seen(tp) {
 			continue
 		}

@@ -69,6 +69,11 @@ func NewBaseCache(params ocb.Params, seed uint64) (*BaseCache, error) {
 // A generation failure is returned as an error (and remembered — every
 // caller of the failed replication sees the same error), feeding the
 // sweep's cell-error path instead of panicking a worker goroutine.
+//
+// Streaming bases (ocb.LayoutStream) are handed out as StreamViews: every
+// call shares the one O(classes) index but owns a private materialization
+// cache, so the mutable cache state never crosses replications or points
+// while the expensive counts pass still runs once per replication.
 func (c *BaseCache) Base(rep int, _ uint64) (*ocb.Database, error) {
 	c.mu.Lock()
 	e := c.bases[rep]
@@ -80,7 +85,10 @@ func (c *BaseCache) Base(rep int, _ uint64) (*ocb.Database, error) {
 	e.once.Do(func() {
 		e.db, e.err = ocb.Generate(c.params, rng.SubSeed(c.seed, uint64(rep)))
 	})
-	return e.db, e.err
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.db.StreamView(), nil
 }
 
 // Len returns the number of cached bases (for tests and diagnostics).

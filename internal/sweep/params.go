@@ -165,6 +165,13 @@ func withConflict(field string, p Param) Param {
 	return p
 }
 
+// asGenerative marks a parameter as feeding object-base generation (for
+// kinds whose constructor takes no generative flag).
+func asGenerative(p Param) Param {
+	p.Generative = true
+	return p
+}
+
 // Canonical enum choice lists. SystemClasses and Placements use
 // CLI-friendly lower-case names; buffer policies keep their PGREP
 // spelling (matching buffer.NewPolicy and voodb.BufferPolicies).
@@ -175,6 +182,7 @@ var (
 	clusteringChoices   = []string{"none", "dstc", "greedygraph"}
 	prefetchChoices     = []string{"none", "oneahead"}
 	calendarChoices     = []string{"auto", "heap", "wheel"}
+	layoutChoices       = []string{"eager", "eagerv2", "stream"}
 )
 
 var systemClassByName = map[string]core.SystemClass{
@@ -204,6 +212,12 @@ var calendarByName = map[string]sim.CalendarKind{
 	"auto":  sim.AutoCalendar,
 	"heap":  sim.HeapCalendar,
 	"wheel": sim.WheelCalendar,
+}
+
+var layoutByName = map[string]ocb.Layout{
+	"eager":   ocb.LayoutEager,
+	"eagerv2": ocb.LayoutEagerV2,
+	"stream":  ocb.LayoutStream,
 }
 
 // paramTable registers every sweepable parameter. Config-level knobs come
@@ -308,6 +322,17 @@ var paramTable = []Param{
 		func(_ *core.Config, p *ocb.Params, v int) { p.ObjectLocality = v }),
 	intParam("classlocality", "class reference locality (OCB CLOCREF)", true,
 		func(_ *core.Config, p *ocb.Params, v int) { p.ClassLocality = v }),
+	numParam("hotskew", "Zipf skew of traversal-root draws over the hot set (0 = uniform)", true,
+		func(_ *core.Config, p *ocb.Params, v float64) {
+			if v > 0 {
+				p.RootDist = ocb.Zipf
+				p.ZipfTheta = v
+			} else {
+				p.RootDist = ocb.Uniform
+			}
+		}),
+	asGenerative(enumParam("dblayout", "object-base generation layout (eager/eagerv2/stream; v2 layouts are bit-identical to each other)", layoutChoices,
+		func(_ *core.Config, p *ocb.Params, v string) { p.Layout = layoutByName[v] })),
 }
 
 // Params lists every sweepable parameter, sorted by name.

@@ -156,7 +156,7 @@ func TestParamsRegistry(t *testing.T) {
 		if p.Kind != KindEnum && p.Choices != nil {
 			t.Fatalf("non-enum parameter %q carries choices", p.Name)
 		}
-		if p.Generative && p.Kind != KindNumeric && p.Kind != KindInteger {
+		if p.Generative && p.Kind == KindBool {
 			t.Fatalf("generative parameter %q has unexpected kind %s", p.Name, p.Kind)
 		}
 	}

@@ -187,6 +187,12 @@ type Options struct {
 	// core.Config.ShardWorkers). Results are bit-identical at every value;
 	// it composes with Workers, which parallelizes across replications.
 	ShardWorkers int
+	// DBLayout, when not LayoutEager, forces every cell's object bases onto
+	// the given generation layout (overriding the cell's Params.Layout).
+	// LayoutEagerV2 and LayoutStream produce bit-identical results to each
+	// other (streaming only changes residency); both differ from the legacy
+	// LayoutEager derivation, so the choice enters the journal fingerprint.
+	DBLayout ocb.Layout
 	// Progress, when non-nil, receives one line per completed point.
 	Progress func(string)
 
@@ -489,6 +495,7 @@ type gridBases struct {
 	axes       []Axis
 	generative []bool
 	seed       uint64
+	layout     ocb.Layout
 	caches     map[string]*BaseCache
 }
 
@@ -511,6 +518,9 @@ func (g *gridBases) forCell(coords []int) (func(rep int, seed uint64) (*ocb.Data
 			if apply := g.axes[k].Points[coords[k]].Apply; apply != nil {
 				apply(&cfg, &params)
 			}
+		}
+		if g.layout != ocb.LayoutEager {
+			params.Layout = g.layout
 		}
 		var err error
 		cache, err = NewBaseCache(params, sliceSeed(g.seed, g.axes, coords, g.generative))
@@ -564,7 +574,7 @@ func (s *Sweep) RunContext(ctx context.Context, o Options) (*Result, error) {
 	var bases *gridBases
 	if o.ShareBases && !allGenerative && s.Protocol == Standard {
 		bases = &gridBases{s: s, axes: axes, generative: generative, seed: o.Seed,
-			caches: make(map[string]*BaseCache)}
+			layout: o.DBLayout, caches: make(map[string]*BaseCache)}
 	}
 
 	shape := make([]int, len(axes))
@@ -724,6 +734,9 @@ func (s *Sweep) runCellOnce(ctx context.Context, o Options, axes []Axis, coords 
 	if o.ShardWorkers > 0 {
 		cfg.ShardWorkers = o.ShardWorkers
 	}
+	if o.DBLayout != ocb.LayoutEager {
+		params.Layout = o.DBLayout
+	}
 	var base func(rep int, seed uint64) (*ocb.Database, error)
 	if bases != nil {
 		if base, err = bases.forCell(coords); err != nil {
@@ -792,6 +805,12 @@ func (s *Sweep) fingerprint(o Options, axes []Axis, metrics []Metric) string {
 	fmt.Fprintf(h, "cfg=%+v\n", cfgFP)
 	fmt.Fprintf(h, "params=%+v\n", s.Params)
 	fmt.Fprintf(h, "reps=%d seed=%d conf=%g share=%t\n", o.reps(), o.Seed, o.confidence(), o.ShareBases)
+	// The layout override changes which derivation generates the bases
+	// (v1 vs v2 streams), so it is result-affecting — but only emit it when
+	// set, keeping journals from before the knob existed resumable.
+	if o.DBLayout != ocb.LayoutEager {
+		fmt.Fprintf(h, "layout=%s\n", o.DBLayout)
+	}
 	for _, ax := range axes {
 		fmt.Fprintf(h, "axis=%s gen=%t\n", ax.Name, ax.Generative)
 		for _, pt := range ax.Points {

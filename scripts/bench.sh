@@ -37,7 +37,8 @@ GOMAXPROCS_EFF="${GOMAXPROCS:-$CORES}"
   go test -run '^$' -bench 'BenchmarkAcquireReleaseCycle|BenchmarkAcquireConflictDispatch|BenchmarkReleaseAllWide' -benchmem ./internal/lock/
   go test -run '^$' -bench 'BenchmarkTxnSubmitCommit' -benchmem ./internal/core/
   go test -run '^$' -bench 'BenchmarkOCBGenerate' -benchmem ./internal/ocb/
-  go test -run '^$' -bench 'BenchmarkFig6|BenchmarkLargeMPLSharded' -benchtime "${FIG_BENCHTIME:-1x}" -benchmem .
+  go test -run '^$' -bench 'BenchmarkStreamGen1M|BenchmarkStreamAccess' -benchmem ./internal/ocb/
+  go test -run '^$' -bench 'BenchmarkFig6|BenchmarkLargeMPLSharded|BenchmarkStreamMillionObjects' -benchtime "${FIG_BENCHTIME:-1x}" -benchmem .
 } | tee "$TMP"
 
 awk -v date="$(date +%Y-%m-%d)" \
@@ -48,13 +49,15 @@ awk -v date="$(date +%Y-%m-%d)" \
 /^Benchmark/ {
   name = $1; sub(/-[0-9]+$/, "", name)
   iters = $2; ns = $3
-  bop = ""; aop = ""; ios = ""; peak = ""; imb = ""
+  bop = ""; aop = ""; ios = ""; peak = ""; imb = ""; dbb = ""; bpo = ""
   for (i = 4; i <= NF; i++) {
     if ($(i) == "B/op") bop = $(i - 1)
     else if ($(i) == "allocs/op") aop = $(i - 1)
     else if ($(i) == "ios/point" || $(i) == "headline" || $(i) == "ios") ios = $(i - 1)
     else if ($(i) == "peakcal") peak = $(i - 1)
     else if ($(i) == "shardimb") imb = $(i - 1)
+    else if ($(i) == "dbbytes") dbb = $(i - 1)
+    else if ($(i) == "bytes/obj") bpo = $(i - 1)
   }
   line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
   if (bop != "") line = line sprintf(", \"bytes_per_op\": %s", bop)
@@ -62,6 +65,8 @@ awk -v date="$(date +%Y-%m-%d)" \
   if (ios != "") line = line sprintf(", \"ios_per_point\": %s", ios)
   if (peak != "") line = line sprintf(", \"peak_calendar_depth\": %s", peak)
   if (imb != "") line = line sprintf(", \"peak_shard_imbalance\": %s", imb)
+  if (dbb != "") line = line sprintf(", \"db_resident_bytes\": %s", dbb)
+  if (bpo != "") line = line sprintf(", \"bytes_per_object\": %s", bpo)
   lines[n++] = line "}"
 }
 END {

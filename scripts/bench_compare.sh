@@ -16,7 +16,13 @@ BenchmarkWheelScheduleStep BenchmarkWheelScheduleCancel BenchmarkReleaseAllWide 
 BenchmarkAcquireReleaseCycle BenchmarkAcquireConflictDispatch BenchmarkTxnSubmitCommit \
 BenchmarkOCBGenerate BenchmarkOCBGenerateInto BenchmarkFig6_O2Instances20 \
 BenchmarkFig6Sharded/shards1 BenchmarkFig6Sharded/shards2 BenchmarkFig6Sharded/shards4 \
-BenchmarkShardedScale/heap/shards1/pending100000 BenchmarkShardedScale/heap/shards4/pending100000}"
+BenchmarkShardedScale/heap/shards1/pending100000 BenchmarkShardedScale/heap/shards4/pending100000 \
+BenchmarkStreamAccess/hit BenchmarkStreamAccess/miss}"
+
+# Residency gate: the streaming layout's whole point is O(hot-set + classes)
+# resident memory — fail if the 1M-object streaming base's resident bytes
+# ever grow past this ceiling (eager-v2 carries ~58 MB at the same point).
+STREAM_RESIDENT_CEILING="${STREAM_RESIDENT_CEILING:-4194304}"
 
 if [ "$#" -eq 2 ]; then
   OLD="$1"; NEW="$2"
@@ -54,4 +60,18 @@ for bench in $GUARDED; do
     echo "  ok    $bench allocs/op ${old_allocs} -> ${new_allocs}"
   fi
 done
+
+# db_resident_bytes of the streaming million-object run (absolute ceiling,
+# not a relative diff: the claim is O(hot-set), independent of history).
+resident="$(sed -n 's|.*"name": "BenchmarkStreamMillionObjects/stream".*"db_resident_bytes": \([0-9][0-9.]*\).*|\1|p' "$NEW" | head -n1)"
+if [ -n "$resident" ]; then
+  # Truncate a possible decimal (the metric is a float in older files).
+  resident="${resident%%.*}"
+  if [ "$resident" -gt "$STREAM_RESIDENT_CEILING" ]; then
+    echo "  FAIL  BenchmarkStreamMillionObjects/stream resident ${resident} B > ceiling ${STREAM_RESIDENT_CEILING} B"
+    fail=1
+  else
+    echo "  ok    BenchmarkStreamMillionObjects/stream resident ${resident} B (ceiling ${STREAM_RESIDENT_CEILING} B)"
+  fi
+fi
 exit "$fail"

@@ -130,6 +130,25 @@ const (
 // WorkloadParams is the OCB benchmark parameter set.
 type WorkloadParams = ocb.Params
 
+// Layout selects the object-base generation layout
+// (WorkloadParams.Layout): how an OCB base's objects are derived and
+// held in memory.
+type Layout = ocb.Layout
+
+// Object-base layouts.
+const (
+	// LayoutEager is the legacy sequential derivation with every object
+	// materialized (the default; all published goldens pin it).
+	LayoutEager = ocb.LayoutEager
+	// LayoutEagerV2 is the counter-based v2 derivation, still fully
+	// materialized — the eager twin of LayoutStream, bit-identical to it.
+	LayoutEagerV2 = ocb.LayoutEagerV2
+	// LayoutStream is the v2 derivation with on-demand materialization:
+	// resident memory stays O(hot-set + classes) regardless of
+	// WorkloadParams.NO, enabling million-object bases.
+	LayoutStream = ocb.LayoutStream
+)
+
 // Database is a generated OCB object base.
 type Database = ocb.Database
 
