@@ -57,6 +57,7 @@ func logFigure(b *testing.B, fig *experiments.Figure, ref paper.Series) {
 	b.ReportMetric(head.IOs.Mean, "ios/point")
 	b.ReportMetric(float64(fig.CalendarPeak), "peakcal")
 	b.ReportMetric(fig.ShardImbalance, "shardimb")
+	b.ReportMetric(fig.BypassRate, "bypass")
 }
 
 // BenchmarkFig6Sharded runs the Figure 6 protocol on the sharded kernel at

@@ -15,7 +15,8 @@
 // -db-layout stream generates the object base on demand behind a bounded
 // cache (O(hot-set) resident memory; bit-identical to eagerv2), enabling
 // million-object -no values. -cpuprofile/-memprofile write pprof profiles
-// for the whole run (see PERFORMANCE.md).
+// and -trace a runtime execution trace for the whole run (see
+// PERFORMANCE.md).
 //
 // The -sweep form compiles a declarative voodb.Sweep from the flag set: a
 // base system configuration (-system, workload sizing via -no/-nc/-hotn),
@@ -39,6 +40,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 	"sync"
 	"syscall"
@@ -83,6 +85,8 @@ func main() {
 		"write a CPU profile of the whole run to this file (inspect with go tool pprof)")
 	memprofile := flag.String("memprofile", "",
 		"write an allocation profile at exit to this file (inspect with go tool pprof)")
+	tracefile := flag.String("trace", "",
+		"write a runtime execution trace of the whole run to this file (inspect with go tool trace)")
 
 	journalPath := flag.String("journal", "",
 		"write a resumable JSONL checkpoint of completed sweep cells to this file (-sweep mode)")
@@ -163,11 +167,11 @@ func main() {
 		fatal(err)
 	}
 
-	// Profiles are opened (and the CPU profile started) before any
-	// simulation, so an unwritable path fails immediately; every exit path
-	// — normal return, fatal(), the explicit os.Exit calls after an
-	// interrupted sweep — flushes them through stopProfiles.
-	stop, err := startProfiles(*cpuprofile, *memprofile)
+	// Profiles are opened (and the CPU profile/execution trace started)
+	// before any simulation, so an unwritable path fails immediately; every
+	// exit path — normal return, fatal(), the explicit os.Exit calls after
+	// an interrupted sweep — flushes them through stopProfiles.
+	stop, err := startProfiles(*cpuprofile, *memprofile, *tracefile)
 	if err != nil {
 		fatal(err)
 	}
@@ -254,15 +258,16 @@ func parseLayout(name string) (voodb.Layout, error) {
 	}
 }
 
-// stopProfiles flushes any active -cpuprofile/-memprofile outputs. It is a
-// package variable because fatal() and the post-sweep os.Exit calls bypass
-// main's defer; startProfiles makes it idempotent.
+// stopProfiles flushes any active -cpuprofile/-memprofile/-trace outputs.
+// It is a package variable because fatal() and the post-sweep os.Exit calls
+// bypass main's defer; startProfiles makes it idempotent.
 var stopProfiles = func() {}
 
 // startProfiles opens the requested profile outputs and starts the CPU
-// profile, returning the idempotent flush function. Both files are created
-// up front so path errors surface before any simulation runs.
-func startProfiles(cpu, mem string) (func(), error) {
+// profile and execution trace, returning the idempotent flush function. All
+// files are created up front so path errors surface before any simulation
+// runs.
+func startProfiles(cpu, mem, trc string) (func(), error) {
 	var cpuF *os.File
 	if cpu != "" {
 		f, err := os.Create(cpu)
@@ -287,12 +292,37 @@ func startProfiles(cpu, mem string) (func(), error) {
 		}
 		memF = f
 	}
+	var trcF *os.File
+	if trc != "" {
+		f, err := os.Create(trc)
+		if err == nil {
+			err = trace.Start(f)
+			if err != nil {
+				f.Close()
+			}
+		}
+		if err != nil {
+			if cpuF != nil {
+				pprof.StopCPUProfile()
+				cpuF.Close()
+			}
+			if memF != nil {
+				memF.Close()
+			}
+			return nil, fmt.Errorf("-trace: %w", err)
+		}
+		trcF = f
+	}
 	var once sync.Once
 	return func() {
 		once.Do(func() {
 			if cpuF != nil {
 				pprof.StopCPUProfile()
 				cpuF.Close()
+			}
+			if trcF != nil {
+				trace.Stop()
+				trcF.Close()
 			}
 			if memF != nil {
 				runtime.GC() // settle live-heap accounting before the snapshot

@@ -139,6 +139,12 @@ type Result struct {
 	// describes the execution schedule, not the simulated results, so it
 	// never enters golden fingerprints.
 	ShardImbalance stats.Sample
+
+	// BypassRate samples the fraction of executed events dispatched through
+	// the head-slot register (the bit-identical next-event fast path) across
+	// replications. Like ShardImbalance it describes the execution schedule,
+	// not the simulated results, so it never enters golden fingerprints.
+	BypassRate stats.Sample
 }
 
 // IOsCI returns the confidence interval of the mean I/O count.
@@ -208,7 +214,7 @@ type repRow struct {
 	hitRatio, respMs, tp float64
 	netMsgs, netBytes    float64
 	lockWaits, reorgIOs  float64
-	shardImb             float64
+	shardImb, bypass     float64
 	calPeak              int
 }
 
@@ -277,6 +283,7 @@ func (e Experiment) runRep(ctx context.Context, c *repContext, rep int) (repRow,
 		lockWaits: float64(st.LockWaits),
 		reorgIOs:  float64(st.ReorgIOs),
 		shardImb:  st.ShardImbalance,
+		bypass:    st.BypassRate,
 		calPeak:   run.CalendarPeak(),
 	}, nil
 }
@@ -318,6 +325,7 @@ func (e Experiment) RunContext(ctx context.Context) (*Result, error) {
 		res.LockWaits.Add(rows[i].lockWaits)
 		res.ReorgIOs.Add(rows[i].reorgIOs)
 		res.ShardImbalance.Add(rows[i].shardImb)
+		res.BypassRate.Add(rows[i].bypass)
 		if rows[i].calPeak > res.CalendarPeak {
 			res.CalendarPeak = rows[i].calPeak
 		}

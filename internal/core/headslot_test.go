@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestHeadSlotOffBitIdentical is the model-level determinism contract of
+// the kernel's head-slot dispatch fast path: a full replicated experiment
+// run with VOODB_NO_HEADSLOT=1 (register forced off) must equal the
+// default run bit for bit on every simulated metric. Only BypassRate — an
+// execution-schedule statistic, excluded from golden fingerprints — may
+// differ: near 1 with the register, exactly 0 without.
+//
+// The env var reaches every kernel the model constructs, so running the
+// whole test suite under VOODB_NO_HEADSLOT=1 reruns every golden with the
+// fast path forced off.
+func TestHeadSlotOffBitIdentical(t *testing.T) {
+	run := func() *Result {
+		cfg := smallConfig()
+		cfg.MPL = 4
+		e := Experiment{Config: cfg, Params: smallParams(), Seed: 42, Replications: 4}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	t.Setenv("VOODB_NO_HEADSLOT", "") // pin the on leg even under a forced-off suite run
+	on := run()
+	t.Setenv("VOODB_NO_HEADSLOT", "1")
+	off := run()
+
+	if on.BypassRate.Mean() == 0 {
+		t.Error("default run recorded no bypasses; fast path not engaged")
+	}
+	if off.BypassRate.Mean() != 0 {
+		t.Errorf("VOODB_NO_HEADSLOT run recorded bypass rate %v", off.BypassRate.Mean())
+	}
+	onCmp, offCmp := *on, *off
+	onCmp.BypassRate = stats.Sample{}
+	offCmp.BypassRate = stats.Sample{}
+	if onCmp != offCmp {
+		t.Fatalf("results diverged with fast path off:\n on  %+v\n off %+v", onCmp, offCmp)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"os"
 
 	"repro/internal/buffer"
 	"repro/internal/cluster"
@@ -80,10 +81,16 @@ func NewRun(cfg Config, db *ocb.Database, seed uint64) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
+	// VOODB_NO_HEADSLOT=1 disables the kernel's head-slot dispatch fast
+	// path — an A/B escape hatch for benchmarking and for rerunning the
+	// golden suites with the register forced off. Results are bit-identical
+	// either way (only BypassRate changes); it is an env var rather than a
+	// Config field so it never enters sweep-journal fingerprints.
 	s := sim.New(
 		sim.WithCalendar(cfg.Calendar),
 		sim.WithShardWorkers(cfg.ShardWorkers),
 		sim.WithLookahead(cfg.shardLookaheadMs()),
+		sim.WithHeadSlot(os.Getenv("VOODB_NO_HEADSLOT") == ""),
 	)
 	s.Grow(cfg.calendarHint())
 	r := &Run{
@@ -290,6 +297,13 @@ type BatchStats struct {
 	// describes the execution schedule, never the simulated results, so it
 	// is excluded from golden fingerprints.
 	ShardImbalance float64
+
+	// BypassRate is the fraction of executed events that dispatched through
+	// the kernel's head-slot register rather than the backing calendar,
+	// accumulated over the replication so far. Like ShardImbalance it
+	// describes the execution schedule (the fast path is bit-identical by
+	// construction), so it is excluded from golden fingerprints.
+	BypassRate float64
 }
 
 // ExecuteBatch runs the given transactions to completion: cfg.Users user
@@ -381,5 +395,6 @@ func (r *Run) ExecuteBatch(txs []ocb.Transaction) BatchStats {
 	st.CPUUtilization = r.serverCPU.Utilization()
 	st.MPLOccupancy = r.admission.Utilization()
 	st.ShardImbalance = r.sim.ShardImbalance()
+	st.BypassRate = r.sim.BypassRate()
 	return st
 }

@@ -54,7 +54,13 @@ type Figure struct {
 	// see sim.Simulation.ShardImbalance). Like CalendarPeak it describes
 	// the execution schedule, never the simulated results.
 	ShardImbalance float64
-	Warnings       []string
+	// BypassRate is the mean fraction of executed events that dispatched
+	// through the kernel's head-slot register rather than the backing
+	// calendar, averaged over the figure's points (see
+	// sim.Simulation.BypassRate). Like ShardImbalance it describes the
+	// execution schedule, never the simulated results.
+	BypassRate float64
+	Warnings   []string
 }
 
 // SimValues returns our simulated means in x order.
@@ -194,6 +200,7 @@ func runFigure(ctx context.Context, id string, ref paper.Series, o Options) (*Fi
 	}
 	f := &Figure{ID: res.Name, Title: res.Title, XLabel: res.XLabel, Paper: ref}
 	f.Points = make([]Point, len(res.Points))
+	reached := 0
 	for i := range res.Points {
 		pr := &res.Points[i]
 		ios, _ := pr.Get(sweep.IOs)
@@ -205,6 +212,13 @@ func runFigure(ctx context.Context, id string, ref paper.Series, o Options) (*Fi
 		if pr.Result != nil && pr.Result.ShardImbalance.Mean() > f.ShardImbalance {
 			f.ShardImbalance = pr.Result.ShardImbalance.Mean()
 		}
+		if pr.Result != nil {
+			f.BypassRate += pr.Result.BypassRate.Mean()
+			reached++
+		}
+	}
+	if reached > 0 {
+		f.BypassRate /= float64(reached)
 	}
 	return f, err
 }

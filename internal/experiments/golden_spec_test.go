@@ -109,6 +109,7 @@ func TestDeclarativeFig6MatchesLegacy(t *testing.T) {
 			sweep.LockWaits:      &r.LockWaits,
 			sweep.ReorgIOs:       &r.ReorgIOs,
 			sweep.ShardImbalance: &r.ShardImbalance,
+			sweep.BypassRate:     &r.BypassRate,
 		}
 	}
 	if len(res.Points) != len(wantResults) {

@@ -27,6 +27,35 @@ func BenchmarkScheduleStep(b *testing.B) {
 	}
 }
 
+// BenchmarkScheduleStepChain measures the schedule-pop ping-pong on an
+// otherwise empty calendar — the transaction-pipeline shape: VOODB's state
+// machines schedule one continuation per activity step, so in the closed
+// single-user regime nearly every insert is immediately the next pop. This
+// is the head-slot register's target workload: the whole chain must
+// dispatch through the register (bypass rate 1) without touching the heap
+// or wheel, at 0 allocs/op.
+func BenchmarkScheduleStepChain(b *testing.B) {
+	for _, kind := range []CalendarKind{HeapCalendar, WheelCalendar} {
+		b.Run(kind.String(), func(b *testing.B) {
+			s := New(WithCalendar(kind))
+			action := func() {}
+			// One warm cycle so -benchtime 1x measures steady state.
+			s.Schedule(1, action)
+			s.Step()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Schedule(1, action)
+				s.Step()
+			}
+			b.StopTimer()
+			if b.N > 1 && s.BypassRate() < 0.99 {
+				b.Fatalf("chain did not bypass: rate %.3f", s.BypassRate())
+			}
+		})
+	}
+}
+
 // BenchmarkScheduleCancel measures schedule-then-cancel, the path lock
 // timeouts and failure injectors exercise. Also 0 allocs/op in steady
 // state.

@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"testing"
+)
+
+// bypassOnOff runs build twice — fast path on (the default) and forced off
+// via WithHeadSlot(false) — and fails unless both produced the exact same
+// firing record. This is the head-slot register's determinism contract:
+// the register only ever holds an event strictly earlier than everything
+// in the backing calendar, so dispatch order cannot differ.
+func bypassOnOff(t *testing.T, label string, run func(s *Simulation) []fired, opts ...Option) {
+	t.Helper()
+	on := run(New(opts...))
+	off := run(New(append([]Option{WithHeadSlot(false)}, opts...)...))
+	if len(on) == 0 {
+		t.Fatalf("%s: scenario fired nothing", label)
+	}
+	if len(on) != len(off) {
+		t.Fatalf("%s: bypass on fired %d events, off %d", label, len(on), len(off))
+	}
+	for i := range on {
+		if on[i] != off[i] {
+			t.Fatalf("%s: firing %d differs: on=%+v off=%+v", label, i, on[i], off[i])
+		}
+	}
+}
+
+// bypassVariants is the kernel-variant matrix the register threads through:
+// both calendars × unsharded (0) and per-shard registers at 1/2/4 workers.
+func bypassVariants(t *testing.T, run func(s *Simulation) []fired) {
+	t.Helper()
+	for _, kind := range []CalendarKind{HeapCalendar, WheelCalendar} {
+		for _, sw := range []int{0, 1, 2, 4} {
+			label := kind.String() + "/shards" + string(rune('0'+sw))
+			bypassOnOff(t, label, run, WithCalendar(kind), WithShardWorkers(sw))
+		}
+	}
+}
+
+// TestBypassLockstepEquivalence replays the wheel tests' randomized
+// scenario — wide delay spectrum, nested scheduling from actions, upfront
+// cancels — with the fast path on and off, across both calendars and
+// shards 0/1/2/4.
+func TestBypassLockstepEquivalence(t *testing.T) {
+	bypassVariants(t, func(s *Simulation) []fired {
+		return runScenario(s, 800, lcg(20260808))
+	})
+}
+
+// TestBypassCancelEquivalence replays the sharded cancel scenario — 30%
+// zero delays chain through the register, and actions cancel pseudo-random
+// handles mid-run, so victims are hit while register-resident — with the
+// fast path on and off.
+func TestBypassCancelEquivalence(t *testing.T) {
+	bypassVariants(t, func(s *Simulation) []fired {
+		return runCancelScenario(s, 400, lcg(808))
+	})
+}
+
+// TestBypassChainEquivalence drives the transaction-pipeline shape the
+// register exists for — every action schedules its continuation a small
+// strictly-earlier-than-everything delay ahead — interleaved with a
+// standing far-future population so the calendar is never empty, and
+// checks on/off equivalence plus a near-total hit rate.
+func TestBypassChainEquivalence(t *testing.T) {
+	chain := func(s *Simulation) []fired {
+		var record []fired
+		for i := 0; i < 8; i++ {
+			id := 1000 + i
+			s.Schedule(1e6+Time(i), func() { record = append(record, fired{id: id, now: s.Now()}) })
+		}
+		steps := 0
+		var cont func()
+		cont = func() {
+			record = append(record, fired{id: steps, now: s.Now()})
+			steps++
+			if steps < 5000 {
+				s.Schedule(0.5, cont)
+			}
+		}
+		s.Schedule(0.5, cont)
+		s.Run()
+		return record
+	}
+	bypassVariants(t, chain)
+
+	s := New()
+	chain(s)
+	if r := s.BypassRate(); r < 0.99 {
+		t.Fatalf("chain bypass rate = %.3f, want ≥ 0.99", r)
+	}
+	s = New(WithHeadSlot(false))
+	chain(s)
+	if r := s.BypassRate(); r != 0 {
+		t.Fatalf("disabled fast path reported bypass rate %.3f", r)
+	}
+}
+
+// TestBypassStepHaltEquivalence drives the halting and stepping paths —
+// Step, RunUntil mid-calendar, a Halt honored through a stop check, then a
+// resumed Run — with the fast path on and off. On the sharded engine this
+// exercises rehome() with register-resident events.
+func TestBypassStepHaltEquivalence(t *testing.T) {
+	bypassVariants(t, func(s *Simulation) []fired {
+		rng := lcg(99)
+		var record []fired
+		haltOnce := false
+		for i := 0; i < 300; i++ {
+			id := i
+			s.Schedule(rng.float()*50, func() {
+				record = append(record, fired{id: id, now: s.Now()})
+				if len(record) >= 150 && !haltOnce {
+					haltOnce = true
+					s.Halt()
+				}
+				if rng.float() < 0.4 {
+					s.Schedule(rng.float()*0.2, func() {
+						record = append(record, fired{id: -id, now: s.Now()})
+					})
+				}
+			})
+		}
+		for i := 0; i < 20; i++ {
+			s.Step()
+		}
+		s.RunUntil(5)
+		s.SetStopCheck(func() bool { return false })
+		s.Run()
+		if !s.Halted() {
+			t.Fatal("run did not halt")
+		}
+		s.SetStopCheck(nil)
+		s.Run()
+		return record
+	})
+}
+
+// TestBypassRegisterCancel pins Cancel against a register-resident event
+// directly: the register occupant is cancelled in O(1) through its
+// generation handle, the calendar's events are untouched, and the register
+// refills on the next eligible Schedule.
+func TestBypassRegisterCancel(t *testing.T) {
+	for _, kind := range []CalendarKind{HeapCalendar, WheelCalendar} {
+		s := New(WithCalendar(kind))
+		var order []int
+		s.Schedule(100, func() { order = append(order, 1) })
+		// Strictly earlier than the calendar head → parks in the register.
+		near := s.Schedule(1, func() { order = append(order, 2) })
+		if !near.Pending() {
+			t.Fatalf("%v: register-resident event not Pending", kind)
+		}
+		if got := s.Pending(); got != 2 {
+			t.Fatalf("%v: Pending = %d, want 2", kind, got)
+		}
+		s.Cancel(near)
+		if near.Pending() {
+			t.Fatalf("%v: cancelled register event still Pending", kind)
+		}
+		if got := s.Pending(); got != 1 {
+			t.Fatalf("%v: Pending after cancel = %d, want 1", kind, got)
+		}
+		s.Cancel(near) // double-cancel through a stale handle is a no-op
+		// The register is free again: a new strictly-earlier event parks
+		// and fires first.
+		s.Schedule(2, func() { order = append(order, 3) })
+		s.Run()
+		if len(order) != 2 || order[0] != 3 || order[1] != 1 {
+			t.Fatalf("%v: firing order %v, want [3 1]", kind, order)
+		}
+		// On the heap the refilled register dispatches the t=2 event; the
+		// wheel cannot park it (its cursor trails the new event's tick once
+		// the calendar is populated), which is exactly the invariant.
+		if kind == HeapCalendar && s.Bypassed() == 0 {
+			t.Fatalf("%v: no bypass recorded", kind)
+		}
+	}
+}
+
+// TestBypassDisplacement pins the demotion path: a parked occupant is
+// displaced by a strictly earlier arrival and must fall back into the
+// calendar without losing its slot handle or its turn.
+func TestBypassDisplacement(t *testing.T) {
+	for _, kind := range []CalendarKind{HeapCalendar, WheelCalendar} {
+		s := New(WithCalendar(kind))
+		var order []int
+		s.Schedule(100, func() { order = append(order, 1) })
+		mid := s.Schedule(10, func() { order = append(order, 2) }) // parks
+		s.Schedule(1, func() { order = append(order, 3) })         // displaces mid
+		if !mid.Pending() {
+			t.Fatalf("%v: demoted event lost its handle", kind)
+		}
+		if got := s.Pending(); got != 3 {
+			t.Fatalf("%v: Pending = %d, want 3", kind, got)
+		}
+		s.Run()
+		want := []int{3, 2, 1}
+		if len(order) != len(want) {
+			t.Fatalf("%v: fired %v, want %v", kind, order, want)
+		}
+		for i := range want {
+			if order[i] != want[i] {
+				t.Fatalf("%v: fired %v, want %v", kind, order, want)
+			}
+		}
+	}
+}
+
+// TestBypassTiesRouteToCalendar pins the strict-inequality rule: an event
+// at exactly the calendar-head time must NOT bypass (same-time FIFO is the
+// calendar's job), so a same-time chain keeps scheduling order.
+func TestBypassTiesRouteToCalendar(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 50; i++ {
+		id := i
+		s.Schedule(5, func() { order = append(order, id) })
+	}
+	if s.Bypassed() != 0 {
+		t.Fatal("same-time events must not occupy the register")
+	}
+	s.Run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("FIFO violated at %d: got %d", i, got)
+		}
+	}
+}
+
+// TestBypassReset checks Reset clears the register and the hit counter so
+// a recycled simulation behaves like a fresh one.
+func TestBypassReset(t *testing.T) {
+	s := New()
+	s.Schedule(5, func() {})
+	s.Schedule(1, func() {}) // parks
+	s.Reset()
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending after Reset = %d, want 0", got)
+	}
+	if s.Bypassed() != 0 || s.BypassRate() != 0 {
+		t.Fatalf("Reset kept bypass counters: %d / %v", s.Bypassed(), s.BypassRate())
+	}
+	fired := 0
+	s.Schedule(1, func() { fired++ })
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("recycled simulation fired %d events, want 1", fired)
+	}
+}

@@ -43,10 +43,11 @@ import (
 // Sentinel values of eventSlot.bucket marking which sharded structure
 // holds a live slot when it is in none of the heaps or wheel buckets.
 const (
-	bkNone    int32 = -1 // in a heap (heapIdx ≥ 0) or free
-	bkOverlay int32 = -2 // in the merge overlay heap (heapIdx is its position)
-	bkInbox   int32 = -3 // parked in a shard's inbox until the next barrier
-	bkRun     int32 = -4 // extracted into a shard's sorted window run
+	bkNone     int32 = -1 // in a heap (heapIdx ≥ 0) or free
+	bkOverlay  int32 = -2 // in the merge overlay heap (heapIdx is its position)
+	bkInbox    int32 = -3 // parked in a shard's inbox until the next barrier
+	bkRun      int32 = -4 // extracted into a shard's sorted window run
+	bkHeadSlot int32 = -5 // parked in a head-slot dispatch register
 )
 
 // MaxShardWorkers caps WithShardWorkers; more shards than this only add
@@ -69,7 +70,15 @@ type simShard struct {
 	run      []int32 // extracted events of the current window, (time, seq)-sorted
 	runPos   int
 	head     Time // exact earliest pending time in the shard calendar, +Inf if empty
+	// headSlot is the shard's head-slot dispatch register: when ≥ 0 it
+	// holds an event strictly earlier in (time, seq) than everything in
+	// this shard's heap and wheel. It is filled only on the outside-Run
+	// scheduling path (model code inside Run schedules during the merge,
+	// which routes to the overlay or an inbox) and drained first at window
+	// extraction, so the worker never sees a stale register.
+	headSlot int32
 	executed uint64
+	bypassed uint64 // events dispatched through this shard's register
 	_        [64]byte
 }
 
@@ -141,6 +150,7 @@ func (s *Simulation) initShards() {
 		sh := &s.shards[k]
 		sh.head = math.Inf(1)
 		sh.inboxMin = math.Inf(1)
+		sh.headSlot = -1
 		if s.kind == WheelCalendar {
 			sh.wheel = s.newShardWheel()
 		}
@@ -169,7 +179,9 @@ func (s *Simulation) resetShards() {
 		sh.run = sh.run[:0]
 		sh.runPos = 0
 		sh.head = math.Inf(1)
+		sh.headSlot = -1
 		sh.executed = 0
+		sh.bypassed = 0
 		if sh.wheel != nil {
 			sh.wheel.clear(0)
 		}
@@ -249,10 +261,39 @@ func (s *Simulation) shardPlace(idx int32, t Time) {
 		return
 	}
 	sh := s.shardOf(slot.seq)
-	s.calPlace(sh, idx)
+	// Head-slot register, per shard: the same strict-inequality routing as
+	// the unsharded engine, against this shard's calendar only. The shard
+	// head still tracks the register occupant, so window selection and
+	// shardMin see the true shard minimum.
+	if h := sh.headSlot; h >= 0 {
+		if t < s.events[h].time {
+			s.events[h].bucket = bkNone
+			s.calPlace(sh, h)
+			slot.bucket = bkHeadSlot
+			sh.headSlot = idx
+		} else {
+			s.calPlace(sh, idx)
+		}
+	} else if !s.noBypass && s.shardHeadFits(sh, t) {
+		slot.bucket = bkHeadSlot
+		sh.headSlot = idx
+	} else {
+		s.calPlace(sh, idx)
+	}
 	if t < sh.head {
 		sh.head = t
 	}
+}
+
+// shardHeadFits is headFits against one shard's calendar.
+func (s *Simulation) shardHeadFits(sh *simShard, t Time) bool {
+	if len(sh.heap) > 0 && t >= s.events[sh.heap[0]].time {
+		return false
+	}
+	if sh.wheel != nil && sh.wheel.count > 0 && sh.wheel.tickOf(t) > sh.wheel.cur {
+		return false
+	}
+	return true
 }
 
 // shardCancel removes a live slot from whichever sharded structure holds
@@ -290,6 +331,11 @@ func (s *Simulation) shardCancel(idx int32, slot *eventSlot) {
 			i++
 		}
 		sh.inboxMin = min
+	case slot.bucket == bkHeadSlot:
+		slot.bucket = bkNone
+		s.shardOf(slot.seq).headSlot = -1
+		// sh.head may now be stale-low; like a heap removal it remains a
+		// safe lower bound and is recomputed exactly at every extraction.
 	case slot.bucket >= 0:
 		s.bucketRemove(s.shardOf(slot.seq).wheel, idx)
 	case slot.heapIdx >= 0:
@@ -315,14 +361,17 @@ func (s *Simulation) shardMin() (int, int32) {
 	best, bestIdx := -1, int32(-1)
 	for k := range s.shards {
 		sh := &s.shards[k]
-		if len(sh.heap) == 0 && sh.wheel != nil {
-			s.advanceWheel(sh.wheel, &sh.heap)
+		root := sh.headSlot // the register, when occupied, is the shard min
+		if root < 0 {
+			if len(sh.heap) == 0 && sh.wheel != nil {
+				s.advanceWheel(sh.wheel, &sh.heap)
+			}
+			if len(sh.heap) == 0 {
+				sh.head = math.Inf(1)
+				continue
+			}
+			root = sh.heap[0]
 		}
-		if len(sh.heap) == 0 {
-			sh.head = math.Inf(1)
-			continue
-		}
-		root := sh.heap[0]
 		sh.head = s.events[root].time
 		if bestIdx < 0 || s.slotLess(root, bestIdx) {
 			best, bestIdx = k, root
@@ -338,7 +387,15 @@ func (s *Simulation) shardStep() bool {
 		return false
 	}
 	sh := &s.shards[k]
-	idx := s.hPop(&sh.heap)
+	var idx int32
+	if sh.headSlot >= 0 {
+		idx = sh.headSlot
+		sh.headSlot = -1
+		s.events[idx].bucket = bkNone
+		sh.bypassed++
+	} else {
+		idx = s.hPop(&sh.heap)
+	}
 	slot := &s.events[idx]
 	s.now = slot.time
 	action := slot.action
@@ -454,6 +511,23 @@ func (s *Simulation) shardWorker(sh *simShard, ch <-chan Time, wg *sync.WaitGrou
 func (s *Simulation) extract(sh *simShard, w Time) {
 	sh.run = sh.run[:0]
 	sh.runPos = 0
+	// Drain the register first. A due occupant leads the run (it is
+	// strictly earlier in (time, seq) than everything in the shard
+	// calendar); one due beyond the window is demoted into the calendar,
+	// so after every extraction the register is empty — which is what
+	// makes later inbox integration and post-halt rehoming free to file
+	// arbitrarily early events into the shard calendar.
+	if h := sh.headSlot; h >= 0 {
+		sh.headSlot = -1
+		if s.events[h].time <= w {
+			s.events[h].bucket = bkRun
+			sh.run = append(sh.run, h)
+			sh.bypassed++ // per-shard: extract runs concurrently across shards
+		} else {
+			s.events[h].bucket = bkNone
+			s.calPlace(sh, h)
+		}
+	}
 	for {
 		if len(sh.heap) == 0 {
 			if sh.wheel == nil || !s.advanceWheel(sh.wheel, &sh.heap) {

@@ -105,6 +105,18 @@ type Simulation struct {
 	wheelTick Time
 	wheel     *wheel
 
+	// Head-slot dispatch register. headSlot, when ≥ 0, is the arena index
+	// of an event strictly earlier in (time, seq) than every event in the
+	// backing calendar, so pops read it without touching the heap or wheel.
+	// The strict inequality is what keeps the fast path bit-identical:
+	// a strictly earlier event is the unique next pop, and ties (same-time
+	// FIFO) always route through the calendar. noBypass forces every event
+	// through the calendar — the register invariant then holds vacuously —
+	// so equivalence tests can run the two dispatch paths in lockstep.
+	headSlot int32
+	bypass   uint64 // events dispatched through the register
+	noBypass bool
+
 	scheduled uint64
 	executed  uint64
 	cancelled uint64
@@ -141,7 +153,7 @@ type Simulation struct {
 
 // New returns an empty simulation with the clock at zero.
 func New(opts ...Option) *Simulation {
-	s := &Simulation{}
+	s := &Simulation{headSlot: -1}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -181,7 +193,9 @@ func (s *Simulation) Reset() {
 		}
 		s.free = append(s.free, int32(i))
 	}
+	s.headSlot = -1
 	s.scheduled, s.executed, s.cancelled = 0, 0, 0
+	s.bypass = 0
 	s.peak = 0
 	s.stopCheck = nil
 	s.halted = false
@@ -242,10 +256,14 @@ func (s *Simulation) Pending() int {
 	if s.nshards > 0 {
 		return s.live
 	}
+	p := len(s.heap)
 	if s.wheel != nil {
-		return len(s.heap) + s.wheel.count
+		p += s.wheel.count
 	}
-	return len(s.heap)
+	if s.headSlot >= 0 {
+		p++
+	}
+	return p
 }
 
 // PeakPending returns the high-water mark of Pending() since the last
@@ -276,6 +294,29 @@ func (s *Simulation) Scheduled() uint64 { return s.scheduled }
 // Executed returns the total number of events executed.
 func (s *Simulation) Executed() uint64 { return s.executed }
 
+// Bypassed returns the number of executed events that were dispatched
+// through the head-slot register (skipping the backing calendar entirely)
+// since the last Reset.
+func (s *Simulation) Bypassed() uint64 {
+	b := s.bypass
+	for k := range s.shards {
+		b += s.shards[k].bypassed
+	}
+	return b
+}
+
+// BypassRate returns the fraction of executed events dispatched through
+// the head-slot register since the last Reset — the share of scheduler
+// work the next-event fast path absorbed. Zero when nothing has executed.
+// Like ShardImbalance it describes the execution schedule, never the
+// simulated results: firing order is bit-identical at any rate.
+func (s *Simulation) BypassRate() float64 {
+	if s.executed == 0 {
+		return 0
+	}
+	return float64(s.Bypassed()) / float64(s.executed)
+}
+
 // Schedule registers action to run after delay units of simulated time.
 // It panics if delay is negative or NaN, or if action is nil: both are
 // model bugs that must not be silently absorbed.
@@ -302,21 +343,73 @@ func (s *Simulation) ScheduleAt(t Time, action func()) Event {
 	slot.action = action
 	s.seq++
 	s.scheduled++
-	switch {
-	case s.nshards > 0:
+	if s.nshards > 0 {
 		s.shardPlace(idx, t)
-	case s.wheel != nil:
-		s.wheelPlace(s.wheel, &s.heap, idx)
-		if p := len(s.heap) + s.wheel.count; p > s.peak {
-			s.peak = p
-		}
-	default:
-		s.heapPush(idx)
-		if p := len(s.heap); p > s.peak {
-			s.peak = p
-		}
+	} else {
+		s.place(idx, t)
 	}
 	return Event{s: s, time: t, slot: idx, gen: s.events[idx].gen}
+}
+
+// place routes a freshly filled slot to the head-slot register or the
+// backing calendar (ScheduleAt's unsharded tail). A new event carries the
+// largest sequence number so far, so "strictly earlier in (time, seq) than
+// X" reduces to "time strictly before X's".
+func (s *Simulation) place(idx int32, t Time) {
+	if h := s.headSlot; h >= 0 {
+		if t < s.events[h].time {
+			// Strictly earlier than the register occupant — and the
+			// occupant is strictly earlier than everything in the calendar,
+			// so the newcomer is the unique next pop. Demote the occupant.
+			s.events[h].bucket = bkNone
+			s.calInsert(h)
+			s.events[idx].bucket = bkHeadSlot
+			s.headSlot = idx
+		} else {
+			// At or after the occupant: the calendar orders it (same-time
+			// ties fire in seq order, and the occupant's seq is smaller).
+			s.calInsert(idx)
+		}
+	} else if !s.noBypass && s.headFits(t) {
+		s.events[idx].bucket = bkHeadSlot
+		s.headSlot = idx
+	} else {
+		s.calInsert(idx)
+	}
+	p := len(s.heap)
+	if s.wheel != nil {
+		p += s.wheel.count
+	}
+	if s.headSlot >= 0 {
+		p++
+	}
+	if p > s.peak {
+		s.peak = p
+	}
+}
+
+// headFits reports whether an event at time t (carrying the largest seq)
+// is strictly earlier than every event in the backing calendar, i.e. may
+// occupy the empty register. Heap events are bounded below by the root;
+// wheel and overflow events all have tick > cur and tickOf is monotone, so
+// tickOf(t) ≤ cur proves t strictly earlier than every bucketed event.
+func (s *Simulation) headFits(t Time) bool {
+	if len(s.heap) > 0 && t >= s.events[s.heap[0]].time {
+		return false
+	}
+	if s.wheel != nil && s.wheel.count > 0 && s.wheel.tickOf(t) > s.wheel.cur {
+		return false
+	}
+	return true
+}
+
+// calInsert files a slot into the unsharded backing calendar.
+func (s *Simulation) calInsert(idx int32) {
+	if s.wheel != nil {
+		s.wheelPlace(s.wheel, &s.heap, idx)
+	} else {
+		s.heapPush(idx)
+	}
 }
 
 // alloc takes a slot from the free list (normalizing a cancelled slot's odd
@@ -354,6 +447,9 @@ func (s *Simulation) Cancel(e Event) {
 		s.heapRemove(slot.heapIdx)
 	case slot.bucket >= 0:
 		s.bucketRemove(s.wheel, e.slot)
+	case slot.bucket == bkHeadSlot:
+		slot.bucket = bkNone
+		s.headSlot = -1
 	default:
 		return
 	}
@@ -369,10 +465,19 @@ func (s *Simulation) Step() bool {
 	if s.nshards > 0 {
 		return s.shardStep()
 	}
-	if !s.peek() {
-		return false
+	idx := s.headSlot
+	if idx >= 0 {
+		// The register occupant is strictly earlier than everything in the
+		// calendar, so it is the next pop — no heap or wheel work.
+		s.headSlot = -1
+		s.events[idx].bucket = bkNone
+		s.bypass++
+	} else {
+		if !s.peek() {
+			return false
+		}
+		idx = s.heapPop()
 	}
-	idx := s.heapPop()
 	slot := &s.events[idx]
 	s.now = slot.time
 	action := slot.action
@@ -421,14 +526,43 @@ func (s *Simulation) Run() {
 		return
 	}
 	if s.stopCheck == nil && !s.halted {
-		for s.Step() {
-		}
+		s.runFast()
 		return
 	}
 	for !s.halted && s.Step() {
 		if s.executed&(StopCheckInterval-1) == 0 && s.stopCheck != nil && s.stopCheck() {
 			s.halted = true
 		}
+	}
+}
+
+// runFast drains the calendar with the per-Step sharded/stop-check/halt
+// branches hoisted out of the loop: Run has already established that the
+// engine is unsharded and hook-free, so each iteration is just the register
+// check, the (rare) calendar pop, and the action dispatch.
+func (s *Simulation) runFast() {
+	for {
+		idx := s.headSlot
+		if idx >= 0 {
+			s.headSlot = -1
+			s.events[idx].bucket = bkNone
+			s.bypass++
+		} else if s.peek() {
+			idx = s.heapPop()
+		} else {
+			return
+		}
+		slot := &s.events[idx]
+		s.now = slot.time
+		action := slot.action
+		slot.action = nil
+		slot.gen += 2 // stays even: fired
+		s.free = append(s.free, idx)
+		s.executed++
+		if s.Trace != nil {
+			s.Trace(s.now)
+		}
+		action()
 	}
 }
 
@@ -448,7 +582,18 @@ func (s *Simulation) RunUntil(horizon Time) {
 		}
 		return
 	}
-	for s.peek() && s.events[s.heap[0]].time <= horizon {
+	for {
+		var t Time
+		if s.headSlot >= 0 {
+			t = s.events[s.headSlot].time
+		} else if s.peek() {
+			t = s.events[s.heap[0]].time
+		} else {
+			break
+		}
+		if t > horizon {
+			break
+		}
 		s.Step()
 	}
 	if s.now < horizon {
@@ -490,12 +635,15 @@ func (s *Simulation) hPush(h *[]int32, idx int32) {
 
 // hPop removes and returns the root slot index.
 func (s *Simulation) hPop(h *[]int32) int32 {
-	idx := (*h)[0]
-	last := len(*h) - 1
-	s.hSwap(*h, 0, last)
-	*h = (*h)[:last]
+	hh := *h
+	idx := hh[0]
+	last := len(hh) - 1
+	*h = hh[:last]
 	if last > 0 {
-		s.hDown(*h, 0)
+		moving := hh[last]
+		hh[0] = moving
+		s.events[moving].heapIdx = 0
+		s.hDown(hh[:last], 0)
 	}
 	s.events[idx].heapIdx = -1
 	return idx
@@ -503,44 +651,67 @@ func (s *Simulation) hPop(h *[]int32) int32 {
 
 // hRemove removes the slot at heap position i.
 func (s *Simulation) hRemove(h *[]int32, i int32) {
-	idx := (*h)[i]
-	last := len(*h) - 1
-	s.hSwap(*h, int(i), last)
-	*h = (*h)[:last]
+	hh := *h
+	idx := hh[i]
+	last := len(hh) - 1
+	*h = hh[:last]
 	if int(i) < last {
-		s.hDown(*h, int(i))
-		s.hUp(*h, int(i))
+		moving := hh[last]
+		hh[i] = moving
+		s.events[moving].heapIdx = i
+		s.hDown(hh[:last], int(i))
+		s.hUp(hh[:last], int(i))
 	}
 	s.events[idx].heapIdx = -1
 }
 
+// hUp and hDown sift by hole percolation — the displaced element is held
+// aside while smaller/larger entries shift into the hole, then written once
+// — which halves the slice and heapIdx write traffic of the classic
+// swap-based sift. The comparison sequence (and, because (time, seq) is a
+// strict total order, the firing order) is unchanged.
+
 func (s *Simulation) hUp(h []int32, i int) {
+	moving := h[i]
+	start := i
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !s.slotLess(h[i], h[parent]) {
+		if !s.slotLess(moving, h[parent]) {
 			break
 		}
-		s.hSwap(h, i, parent)
+		h[i] = h[parent]
+		s.events[h[i]].heapIdx = int32(i)
 		i = parent
+	}
+	if i != start {
+		h[i] = moving
+		s.events[moving].heapIdx = int32(i)
 	}
 }
 
 func (s *Simulation) hDown(h []int32, i int) {
 	n := len(h)
+	moving := h[i]
+	start := i
 	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < n && s.slotLess(h[l], h[smallest]) {
-			smallest = l
+		l := 2*i + 1
+		if l >= n {
+			break
 		}
-		if r < n && s.slotLess(h[r], h[smallest]) {
-			smallest = r
+		c := l
+		if r := l + 1; r < n && s.slotLess(h[r], h[l]) {
+			c = r
 		}
-		if smallest == i {
-			return
+		if !s.slotLess(h[c], moving) {
+			break
 		}
-		s.hSwap(h, i, smallest)
-		i = smallest
+		h[i] = h[c]
+		s.events[h[i]].heapIdx = int32(i)
+		i = c
+	}
+	if i != start {
+		h[i] = moving
+		s.events[moving].heapIdx = int32(i)
 	}
 }
 

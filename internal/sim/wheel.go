@@ -62,6 +62,16 @@ func WithCalendar(k CalendarKind) Option {
 	return func(s *Simulation) { s.kind = k }
 }
 
+// WithHeadSlot enables or disables the head-slot dispatch register
+// (default enabled). Firing order — and therefore every simulation result —
+// is bit-identical either way: the register only ever holds an event
+// strictly earlier than the whole backing calendar, which is the unique
+// next pop regardless. The option exists so equivalence and golden tests
+// can run the two dispatch paths in lockstep.
+func WithHeadSlot(on bool) Option {
+	return func(s *Simulation) { s.noBypass = !on }
+}
+
 // WithWheelTick sets the wheel's tick granularity in simulated time units
 // (default DefaultWheelTickMs). It panics on a non-positive tick: a model
 // asking for one has a unit bug that must not be silently absorbed.

@@ -63,6 +63,11 @@ const (
 	// describes the execution schedule, not the simulated system, so shard
 	// sweeps can chart load balance without touching result metrics.
 	ShardImbalance Metric = "shardimb"
+	// BypassRate is the fraction of executed events dispatched through the
+	// kernel's head-slot register instead of the backing calendar. Like
+	// shardimb it describes the execution schedule (the fast path is
+	// bit-identical by construction), not the simulated system.
+	BypassRate Metric = "bypass"
 )
 
 // DSTC-protocol metrics (the §4.4 usage/reorganize/usage phases).
@@ -101,6 +106,7 @@ var metricDefs = map[Metric]metricDef{
 	LockWaits:      {label: "lock waits", scale: 1, standard: func(r *core.Result) *stats.Sample { return &r.LockWaits }},
 	ReorgIOs:       {label: "reorg I/Os", scale: 1, standard: func(r *core.Result) *stats.Sample { return &r.ReorgIOs }},
 	ShardImbalance: {label: "shard imb", scale: 1, standard: func(r *core.Result) *stats.Sample { return &r.ShardImbalance }},
+	BypassRate:     {label: "bypass", scale: 1, standard: func(r *core.Result) *stats.Sample { return &r.BypassRate }},
 
 	PreIOs:        {label: "pre I/Os", scale: 1, dstc: func(r *core.DSTCResult) *stats.Sample { return &r.PreIOs }},
 	OverheadIOs:   {label: "overhead I/Os", scale: 1, dstc: func(r *core.DSTCResult) *stats.Sample { return &r.OverheadIOs }},
@@ -111,7 +117,7 @@ var metricDefs = map[Metric]metricDef{
 }
 
 // standardMetrics and dstcMetrics fix the canonical display order.
-var standardMetrics = []Metric{IOs, Reads, Writes, HitPct, RespMs, ThroughputTPS, NetMessages, NetBytes, LockWaits, ReorgIOs, ShardImbalance}
+var standardMetrics = []Metric{IOs, Reads, Writes, HitPct, RespMs, ThroughputTPS, NetMessages, NetBytes, LockWaits, ReorgIOs, ShardImbalance, BypassRate}
 var dstcMetrics = []Metric{PreIOs, OverheadIOs, PostIOs, Gain, Clusters, ObjPerCluster}
 
 // Metrics returns every metric the given protocol collects, in canonical

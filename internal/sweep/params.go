@@ -333,6 +333,8 @@ var paramTable = []Param{
 		}),
 	asGenerative(enumParam("dblayout", "object-base generation layout (eager/eagerv2/stream; v2 layouts are bit-identical to each other)", layoutChoices,
 		func(_ *core.Config, p *ocb.Params, v string) { p.Layout = layoutByName[v] })),
+	intParam("streamcache", "stream-layout materialization cache bound in objects (0 = default; results identical at every size)", true,
+		func(_ *core.Config, p *ocb.Params, v int) { p.StreamCacheObjects = v }),
 }
 
 // Params lists every sweepable parameter, sorted by name.

@@ -189,6 +189,36 @@ func TestParamsRegistry(t *testing.T) {
 	}
 }
 
+// TestStreamCacheParam pins the streamcache knob: an integer generative
+// parameter (stream bases are built around the cache, so axes over it
+// regenerate per point) writing ocb.Params.StreamCacheObjects, addressable
+// from the CLI as -sweep streamcache=lo:hi:step.
+func TestStreamCacheParam(t *testing.T) {
+	p, ok := LookupParam("streamcache")
+	if !ok {
+		t.Fatal("streamcache missing from registry")
+	}
+	if p.Kind != KindInteger {
+		t.Errorf("streamcache kind = %s, want %s", p.Kind, KindInteger)
+	}
+	if !p.Generative {
+		t.Error("streamcache must be generative: the cache bound is baked into the base")
+	}
+	cfg := core.DefaultConfig()
+	params := ocb.DefaultParams()
+	p.Apply(&cfg, &params, ParamValue{Num: 512})
+	if params.StreamCacheObjects != 512 {
+		t.Errorf("StreamCacheObjects = %d, want 512", params.StreamCacheObjects)
+	}
+	axis, err := ParseAxis("streamcache=64,512")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !axis.Generative || len(axis.Points) != 2 {
+		t.Fatalf("axis = %+v", axis)
+	}
+}
+
 func TestParseMetrics(t *testing.T) {
 	ms, err := ParseMetrics("", Standard)
 	if err != nil || len(ms) != len(Metrics(Standard)) {

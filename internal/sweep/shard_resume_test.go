@@ -10,19 +10,22 @@ import (
 )
 
 // sameModuloImbalance compares two point results after zeroing the
-// ShardImbalance sample: it describes the execution schedule (how evenly
-// events landed on shards), not the model, so it is the one Result field
-// allowed to differ across shard counts.
+// ShardImbalance and BypassRate samples: both describe the execution
+// schedule (how evenly events landed on shards; how many dispatched
+// through the head-slot register), not the model, so they are the only
+// Result fields allowed to differ across shard counts.
 func sameModuloImbalance(a, b *PointResult) bool {
 	ac, bc := *a, *b
 	if ac.Result != nil {
 		r := *ac.Result
 		r.ShardImbalance = stats.Sample{}
+		r.BypassRate = stats.Sample{}
 		ac.Result = &r
 	}
 	if bc.Result != nil {
 		r := *bc.Result
 		r.ShardImbalance = stats.Sample{}
+		r.BypassRate = stats.Sample{}
 		bc.Result = &r
 	}
 	return samePointResult(&ac, &bc)

@@ -49,7 +49,7 @@ awk -v date="$(date +%Y-%m-%d)" \
 /^Benchmark/ {
   name = $1; sub(/-[0-9]+$/, "", name)
   iters = $2; ns = $3
-  bop = ""; aop = ""; ios = ""; peak = ""; imb = ""; dbb = ""; bpo = ""
+  bop = ""; aop = ""; ios = ""; peak = ""; imb = ""; dbb = ""; bpo = ""; byp = ""
   for (i = 4; i <= NF; i++) {
     if ($(i) == "B/op") bop = $(i - 1)
     else if ($(i) == "allocs/op") aop = $(i - 1)
@@ -58,6 +58,7 @@ awk -v date="$(date +%Y-%m-%d)" \
     else if ($(i) == "shardimb") imb = $(i - 1)
     else if ($(i) == "dbbytes") dbb = $(i - 1)
     else if ($(i) == "bytes/obj") bpo = $(i - 1)
+    else if ($(i) == "bypass") byp = $(i - 1)
   }
   line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
   if (bop != "") line = line sprintf(", \"bytes_per_op\": %s", bop)
@@ -67,6 +68,7 @@ awk -v date="$(date +%Y-%m-%d)" \
   if (imb != "") line = line sprintf(", \"peak_shard_imbalance\": %s", imb)
   if (dbb != "") line = line sprintf(", \"db_resident_bytes\": %s", dbb)
   if (bpo != "") line = line sprintf(", \"bytes_per_object\": %s", bpo)
+  if (byp != "") line = line sprintf(", \"bypass_rate\": %s", byp)
   lines[n++] = line "}"
 }
 END {

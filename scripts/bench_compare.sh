@@ -4,13 +4,29 @@
 # than the threshold (default 10 %). Benchmarks present in only one file
 # are reported and skipped, so adding a benchmark never breaks the gate.
 #
+# An opt-in ns/op gate holds CPU-time wins the same way: set NS_GATE_PCT
+# to a percentage (25 is a generous default for same-machine trajectory
+# points) and the high-iteration kernel microbenchmarks in NS_GUARDED must
+# not regress by more than that. It is opt-in (unset = off) because ns/op
+# only compares meaningfully between points recorded on the same hardware,
+# while the allocs/bytes gate is exact everywhere.
+#
 # Usage: scripts/bench_compare.sh [old.json new.json]
-#   THRESHOLD_PCT=25 scripts/bench_compare.sh   # loosen the gate
+#   THRESHOLD_PCT=25 scripts/bench_compare.sh   # loosen the allocs gate
 #   GUARDED="BenchmarkFoo BenchmarkBar" scripts/bench_compare.sh
+#   NS_GATE_PCT=25 scripts/bench_compare.sh     # enable the ns/op gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 THRESHOLD_PCT="${THRESHOLD_PCT:-10}"
+NS_GATE_PCT="${NS_GATE_PCT:-}"
+# ns/op-gated benchmarks: the steady-state microbenchmarks whose iteration
+# counts are high enough for stable timing (figure-level benches run 1-3
+# iterations and stay alloc-gated only).
+NS_GUARDED="${NS_GUARDED:-BenchmarkScheduleStep BenchmarkScheduleCancel \
+BenchmarkScheduleStepChain/heap BenchmarkScheduleStepChain/wheel \
+BenchmarkWheelScheduleStep BenchmarkWheelScheduleCancel \
+BenchmarkAcquireReleaseCycle BenchmarkReleaseAllWide BenchmarkTxnSubmitCommit}"
 GUARDED="${GUARDED:-BenchmarkScheduleStep BenchmarkScheduleCancel BenchmarkScheduleRun \
 BenchmarkWheelScheduleStep BenchmarkWheelScheduleCancel BenchmarkReleaseAllWide \
 BenchmarkAcquireReleaseCycle BenchmarkAcquireConflictDispatch BenchmarkTxnSubmitCommit \
@@ -60,6 +76,33 @@ for bench in $GUARDED; do
     echo "  ok    $bench allocs/op ${old_allocs} -> ${new_allocs}"
   fi
 done
+
+# ns_of <file> <benchmark> — print ns_per_op (possibly fractional), or
+# nothing if absent.
+ns_of() {
+  sed -n 's|.*"name": "'"$2"'".*"ns_per_op": \([0-9][0-9.]*\).*|\1|p' "$1" | head -n1
+}
+
+if [ -n "$NS_GATE_PCT" ]; then
+  echo "bench_compare: ns/op gate enabled (+${NS_GATE_PCT}%)"
+  for bench in $NS_GUARDED; do
+    old_ns="$(ns_of "$OLD" "$bench")"
+    new_ns="$(ns_of "$NEW" "$bench")"
+    if [ -z "$old_ns" ] || [ -z "$new_ns" ]; then
+      echo "  skip  $bench ns/op (missing in $([ -z "$old_ns" ] && echo "$OLD" || echo "$NEW"))"
+      continue
+    fi
+    # ns/op values are floats; compare in awk. Regression iff
+    # new > old * (1 + pct/100).
+    if awk -v o="$old_ns" -v n="$new_ns" -v p="$NS_GATE_PCT" \
+         'BEGIN { exit !(n > o * (1 + p / 100)) }'; then
+      echo "  FAIL  $bench ns/op ${old_ns} -> ${new_ns}"
+      fail=1
+    else
+      echo "  ok    $bench ns/op ${old_ns} -> ${new_ns}"
+    fi
+  done
+fi
 
 # db_resident_bytes of the streaming million-object run (absolute ceiling,
 # not a relative diff: the claim is O(hot-set), independent of history).

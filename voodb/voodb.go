@@ -338,6 +338,10 @@ const (
 	// MetricShardImbalance charts the sharded kernel's load balance
 	// (max/mean events per shard; 1 when unsharded).
 	MetricShardImbalance = sweep.ShardImbalance
+	// MetricBypassRate charts the fraction of executed events dispatched
+	// through the kernel's head-slot register instead of the backing
+	// calendar (the bit-identical next-event fast path).
+	MetricBypassRate = sweep.BypassRate
 
 	MetricPreIOs        = sweep.PreIOs
 	MetricOverheadIOs   = sweep.OverheadIOs
